@@ -1,0 +1,47 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each benchmark module reproduces one table or figure of the SMARTS paper
+(see DESIGN.md for the experiment index).  Reports are written to
+``results/`` and echoed into the pytest terminal summary so that
+``pytest benchmarks/ --benchmark-only`` output contains every reproduced
+table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiments import default_context
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+_collected_reports: list[tuple[str, str]] = []
+
+
+def record_report(name: str, text: str) -> Path:
+    """Persist an experiment report and queue it for the terminal summary."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    _collected_reports.append((name, text))
+    return path
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Process-wide experiment context (shared reference caches)."""
+    return default_context()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Echo every recorded experiment report into the pytest output."""
+    if not _collected_reports:
+        return
+    terminalreporter.section("SMARTS reproduction reports")
+    for name, text in _collected_reports:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {name} ---")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

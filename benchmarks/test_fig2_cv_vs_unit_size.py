@@ -1,0 +1,46 @@
+"""Figure 2: coefficient of variation of CPI versus sampling unit size.
+
+Paper shape: V_CPI falls steeply for unit sizes below ~1000 instructions
+and levels off thereafter; even at unit sizes of a billion instructions
+several benchmarks retain non-negligible variation, which is why
+single-large-sample approaches cannot guarantee accuracy.
+
+Scaled expectation here: V_CPI is non-increasing in U for every
+benchmark, the small-U end shows clearly more variation than the large-U
+end for most of the suite, and the suite spans a wide range of CV values
+(the basis of per-benchmark differences in required sample size).
+"""
+
+import numpy as np
+from conftest import record_report
+
+from repro.harness.experiments import figure2_cv_curves
+
+
+def test_figure2_cv_versus_unit_size(benchmark, ctx):
+    data = benchmark.pedantic(
+        lambda: figure2_cv_curves(ctx, machine_name="8-way"),
+        rounds=1, iterations=1)
+    record_report("fig2_cv_vs_unit_size", data["report"])
+
+    curves = data["curves"]
+    assert len(curves) == len(ctx.suite_names)
+
+    decreasing = 0
+    for name, curve in curves.items():
+        sizes = sorted(curve)
+        values = [curve[u] for u in sizes]
+        assert all(v >= 0 for v in values)
+        # CV at the largest U never exceeds CV at the smallest U by more
+        # than estimation noise.
+        assert values[-1] <= values[0] * 1.10
+        if values[-1] < values[0] * 0.9:
+            decreasing += 1
+
+    # Most benchmarks show the paper's "steep then flat" decline.
+    assert decreasing >= len(curves) // 2
+
+    # The suite spans a meaningful range of variability, as SPEC2K does.
+    smallest_u_cvs = [curve[min(curve)] for curve in curves.values()]
+    assert max(smallest_u_cvs) > 2.5 * min(smallest_u_cvs)
+    assert float(np.median(smallest_u_cvs)) > 0.1

@@ -1,0 +1,52 @@
+"""Figure 5: optimal sampling unit size as a function of detailed warming.
+
+Paper shape: with W = 0 the smallest unit size minimizes the detailed
+simulation budget (because V_CPI does not fall fast enough with U to
+compensate for larger units); with non-zero W the optimum moves into the
+hundreds-to-thousands range to amortize the per-unit warming cost; and
+fixing U at the small canonical value costs little compared to the
+per-benchmark optimum.
+"""
+
+from conftest import record_report
+
+from repro.harness.experiments import figure5_optimal_unit_size
+
+
+def test_figure5_optimal_unit_size(benchmark, ctx):
+    data = benchmark.pedantic(
+        lambda: figure5_optimal_unit_size(ctx), rounds=1, iterations=1)
+    record_report("fig5_optimal_unit_size", data["report"])
+
+    optima = data["optima"]
+    fractions = data["fractions"]
+    assert optima
+
+    non_decreasing = 0
+    for name, per_warming in optima.items():
+        warmings = sorted(per_warming)
+        no_warming, largest_warming = warmings[0], warmings[-1]
+        assert no_warming == 0
+        if per_warming[largest_warming] >= per_warming[no_warming]:
+            non_decreasing += 1
+
+        # With no warming, the optimum is at (or adjacent to) the smallest
+        # available unit size.
+        available = sorted(fractions[name][no_warming])
+        assert per_warming[no_warming] <= available[1]
+
+        # Fixing U to the canonical experiment value costs at most 5x the
+        # per-benchmark optimum's detailed-instruction budget (the paper's
+        # "at most tens of minutes" claim, expressed as a ratio).  Skip
+        # benchmarks whose variability saturates the budget at every U at
+        # this reduced scale — the ratio is meaningless there.
+        curve = fractions[name][largest_warming]
+        best = min(curve.values())
+        fixed = curve.get(ctx.unit_size)
+        if fixed is not None and 0 < best < 1.0:
+            assert fixed <= 5.0 * best
+
+    # For most benchmarks, a larger W does not push the optimal U smaller
+    # (at reduced scale the finite-population correction can perturb
+    # individual benchmarks, but the trend matches the paper).
+    assert non_decreasing >= len(optima) / 2

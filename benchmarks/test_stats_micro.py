@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the SMARTS core primitives (Section 2 / 5.1 math).
+
+These are conventional pytest-benchmark measurements (multiple rounds) of
+the hot statistical and simulation primitives, so performance regressions
+in the sampling machinery itself are visible alongside the reproduction
+experiments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_8way
+from repro.core.sampling import SystematicSamplingPlan
+from repro.core.stats import (
+    intraclass_correlation,
+    required_sample_size,
+    sample_statistics,
+)
+from repro.detailed import DetailedSimulator, MicroarchState
+from repro.functional import FunctionalCore, FunctionalWarmer
+from repro.workloads import micro_benchmark
+
+
+@pytest.fixture(scope="module")
+def unit_values():
+    rng = np.random.default_rng(0)
+    return rng.lognormal(mean=0.3, sigma=0.6, size=10_000)
+
+
+@pytest.fixture(scope="module")
+def micro_program():
+    return micro_benchmark().program
+
+
+def test_bench_sample_statistics(benchmark, unit_values):
+    stats = benchmark(sample_statistics, unit_values)
+    assert stats.n == 10_000
+
+
+def test_bench_required_sample_size(benchmark):
+    n = benchmark(required_sample_size, 1.0, 0.03, 0.997, 1_000_000)
+    assert n > 1_000
+
+
+def test_bench_intraclass_correlation(benchmark, unit_values):
+    delta = benchmark(intraclass_correlation, unit_values, 50)
+    assert abs(delta) < 0.2
+
+
+def test_bench_sampling_plan_enumeration(benchmark):
+    plan = SystematicSamplingPlan(unit_size=1000, interval=300,
+                                  detailed_warming=2000)
+
+    def enumerate_units():
+        return sum(1 for _ in plan.units(7_000_000_000))
+
+    count = benchmark(enumerate_units)
+    assert count == plan.sample_size(7_000_000_000)
+
+
+def test_bench_functional_simulation_rate(benchmark, micro_program):
+    def run_functional():
+        core = FunctionalCore(micro_program)
+        return core.run(5_000)
+
+    executed = benchmark(run_functional)
+    assert executed == 5_000
+
+
+def test_bench_functional_warming_rate(benchmark, micro_program):
+    machine = scaled_8way()
+
+    def run_warming():
+        core = FunctionalCore(micro_program)
+        warmer = FunctionalWarmer(MicroarchState(machine))
+        return core.run(5_000, warmer)
+
+    executed = benchmark(run_warming)
+    assert executed == 5_000
+
+
+def test_bench_detailed_simulation_rate(benchmark, micro_program):
+    machine = scaled_8way()
+
+    def run_detailed():
+        core = FunctionalCore(micro_program)
+        sim = DetailedSimulator(machine, MicroarchState(machine))
+        return sim.simulate(core, 5_000).instructions
+
+    executed = benchmark(run_detailed)
+    assert executed == 5_000

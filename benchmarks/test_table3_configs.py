@@ -1,0 +1,44 @@
+"""Table 3: the 8-way baseline and 16-way aggressive machine configurations.
+
+Paper reference (Table 3): RUU/LSQ 128/64 vs 256/128, 32KB vs 64KB L1,
+1MB vs 2MB L2, 16 vs 32 entry store buffer, 4/2/2/1 vs 16/8/8/4
+functional units, combined 2K vs 8K predictor tables.  Our scaled
+configurations preserve every ratio (see DESIGN.md).
+"""
+
+from conftest import record_report
+
+from repro.config import table3_16way, table3_8way
+from repro.harness.experiments import table3_configurations
+from repro.isa.opcodes import OpClass
+
+
+def test_table3_machine_configurations(benchmark, ctx):
+    data = benchmark.pedantic(
+        lambda: table3_configurations(ctx), rounds=1, iterations=1)
+    record_report("table3_configs", data["report"])
+
+    rows = dict((row[0], (row[1], row[2])) for row in data["rows"])
+    assert "RUU/LSQ" in rows and "Branch predictor" in rows
+
+    # The literal Table 3 values are exposed alongside the scaled ones.
+    eight, sixteen = table3_8way(), table3_16way()
+    assert (eight.ruu_size, eight.lsq_size) == (128, 64)
+    assert (sixteen.ruu_size, sixteen.lsq_size) == (256, 128)
+    assert eight.l1d.size_bytes == 32 * 1024
+    assert sixteen.l1d.size_bytes == 64 * 1024
+    assert eight.l2.size_bytes == 1024 * 1024
+    assert sixteen.l2.size_bytes == 2 * 1024 * 1024
+    assert eight.store_buffer_entries == 16
+    assert sixteen.store_buffer_entries == 32
+    assert eight.fu_counts[OpClass.IALU] == 4
+    assert sixteen.fu_counts[OpClass.IALU] == 16
+    assert (eight.branch.mispredict_penalty,
+            sixteen.branch.mispredict_penalty) == (7, 10)
+
+    # Scaled machines preserve every 16-way/8-way ratio.
+    scaled8, scaled16 = ctx.machine("8-way"), ctx.machine("16-way")
+    assert scaled16.ruu_size == 2 * scaled8.ruu_size
+    assert scaled16.l1d.size_bytes == 2 * scaled8.l1d.size_bytes
+    assert scaled16.l2.size_bytes == 2 * scaled8.l2.size_bytes
+    assert scaled16.store_buffer_entries == 2 * scaled8.store_buffer_entries

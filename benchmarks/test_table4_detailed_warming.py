@@ -1,0 +1,43 @@
+"""Table 4: detailed warming required without functional warming.
+
+Paper shape: with only detailed warming, the W needed to keep bias below
+±1.5% varies widely across benchmarks — a large group needs relatively
+little warming, others need an order of magnitude more, and for some
+even the largest tested W leaves unacceptable bias (mgrid shows up to
+25% bias at W = 500k).  The unpredictability of W is the key argument
+for functional warming.
+"""
+
+from conftest import record_report
+
+from repro.harness.experiments import table4_detailed_warming
+
+
+def test_table4_detailed_warming_requirements(benchmark, ctx):
+    data = benchmark.pedantic(
+        lambda: table4_detailed_warming(ctx), rounds=1, iterations=1)
+    record_report("table4_detailed_warming", data["report"])
+
+    requirements = data["requirements"]
+    biases = data["biases"]
+    warming_values = data["warming_values"]
+    assert requirements
+
+    # Zero warming is insufficient for at least one benchmark (stale /
+    # cold short-term state biases the measurements).
+    zero_warming_biases = [abs(curve.get(0, 0.0)) for curve in biases.values()
+                           if 0 in curve]
+    assert max(zero_warming_biases) > 0.015
+
+    # Requirements vary across benchmarks: not every benchmark needs the
+    # same W (the paper's central observation about unpredictability).
+    distinct = {req for req in requirements.values()}
+    assert len(distinct) >= 2
+
+    # Every benchmark that did converge used one of the tested values and
+    # its measured bias at that W is below the threshold.
+    for name, required in requirements.items():
+        if required is None:
+            continue
+        assert required in warming_values
+        assert abs(biases[name][required]) < 0.015

@@ -1,0 +1,34 @@
+"""Table 5: residual CPI bias with functional warming and minimal W.
+
+Paper shape: with functional warming plus a small, analytically bounded
+amount of detailed warming, every benchmark's bias is within ±2% and
+only a handful exceed ±1%; the average magnitude over the remaining
+benchmarks is ~0.2%.  This is the result that justifies SMARTS' claim
+that functional warming makes tiny sampling units unbiased.
+"""
+
+import numpy as np
+from conftest import record_report
+
+from repro.harness.experiments import table5_functional_warming_bias
+
+
+def test_table5_functional_warming_bias(benchmark, ctx):
+    data = benchmark.pedantic(
+        lambda: table5_functional_warming_bias(ctx), rounds=1, iterations=1)
+    record_report("table5_functional_warming_bias", data["report"])
+
+    biases = data["biases"]
+    assert biases
+
+    magnitudes = [abs(b) for b in biases.values()]
+    # Every benchmark/configuration is within the paper's ±2% bound
+    # (allow a small margin for our much smaller phase-averaging budget).
+    assert max(magnitudes) < 0.03
+
+    # Most benchmarks are within ±1%, as in the paper.
+    within_one_percent = sum(1 for m in magnitudes if m <= 0.01)
+    assert within_one_percent >= len(magnitudes) // 2
+
+    # The average magnitude is small.
+    assert float(np.mean(magnitudes)) < 0.015

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: estimate the CPI of one benchmark with SMARTS.
+
+This example follows the exact procedure of Section 5.1 of the paper:
+
+1. pick W from the machine's warming recommendation (functional warming
+   bounds it to a small value),
+2. use the canonical small sampling unit size U,
+3. run once with a generic initial sample size n_init and check the
+   achieved 99.7% confidence interval,
+4. if the interval is too wide, rerun with n_tuned computed from the
+   measured coefficient of variation.
+
+It then validates the estimate against a full-stream detailed simulation
+(something the paper could only afford because it had months of
+reference simulations — here the benchmark is small enough to check).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    estimate_metric,
+    get_benchmark,
+    recommended_warming,
+    run_reference,
+    scaled_8way,
+)
+
+
+def main() -> None:
+    machine = scaled_8way()
+    benchmark = get_benchmark("mcf.syn", scale=0.25)
+    print(f"Benchmark: {benchmark.name} ({benchmark.spec.description})")
+    print(f"Machine:   {machine.name}")
+
+    # --- SMARTS estimation ------------------------------------------------
+    result = estimate_metric(
+        benchmark.program,
+        machine,
+        metric="cpi",
+        unit_size=50,                                   # U (scaled from 1000)
+        detailed_warming=recommended_warming(machine),  # W
+        functional_warming=True,
+        epsilon=0.075,                                  # target ±7.5%
+        confidence=0.997,                               # "virtually certain"
+        n_init=300,
+        max_rounds=2,
+    )
+
+    estimate = result.estimate
+    print("\nSMARTS estimate")
+    print(f"  CPI                 : {estimate.mean:.4f}")
+    print(f"  coefficient of var. : {estimate.coefficient_of_variation:.3f}")
+    print(f"  99.7% conf. interval: ±{result.confidence_interval:.2%}")
+    print(f"  sampling rounds     : {len(result.runs)}"
+          f" (n = {[run.sample_size for run in result.runs]})")
+    print(f"  instructions measured in detail: "
+          f"{result.total_measured_instructions:,} of "
+          f"{result.benchmark_length:,} "
+          f"({result.total_measured_instructions / result.benchmark_length:.2%})")
+
+    # --- Validation against full detailed simulation ----------------------
+    print("\nValidating against full-stream detailed simulation "
+          "(this is the slow thing SMARTS avoids)...")
+    reference = run_reference(benchmark.program, machine)
+    error = (estimate.mean - reference.cpi) / reference.cpi
+    print(f"  true CPI            : {reference.cpi:.4f}")
+    print(f"  actual error        : {error:+.2%}")
+    print(f"  inside ±CI?         : "
+          f"{'yes' if abs(error) <= result.confidence_interval else 'no'}")
+
+
+if __name__ == "__main__":
+    main()

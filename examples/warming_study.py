@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Warming study: why functional warming matters (Sections 4.3-4.5).
+
+Sweeps the detailed-warming length W for one benchmark, with and without
+functional warming, and measures the resulting estimation bias against
+per-unit ground truth from a full-stream reference simulation.  The
+output reproduces the paper's qualitative story:
+
+* with no warming at all the measurements are badly biased,
+* detailed warming alone needs a large, benchmark-dependent (and a
+  priori unknowable) W to remove that bias,
+* functional warming plus a tiny, analytically bounded W removes it.
+
+Run:  python examples/warming_study.py
+"""
+
+from repro import get_benchmark, run_reference, scaled_8way
+from repro.core.procedure import analytic_warming_bound, recommended_warming
+from repro.harness.bias import measure_bias
+from repro.harness.reporting import format_table, percent
+
+BENCHMARK = "gzip.syn"
+SCALE = 0.2
+
+
+def main() -> None:
+    machine = scaled_8way()
+    benchmark = get_benchmark(BENCHMARK, scale=SCALE)
+    print(f"Benchmark: {benchmark.name}, machine: {machine.name}")
+    print(f"Analytic worst-case W bound (store buffer x mem latency x IPC): "
+          f"{analytic_warming_bound(machine):,} instructions")
+    print(f"Recommended W with functional warming: "
+          f"{recommended_warming(machine)} instructions\n")
+
+    print("Running full-stream reference simulation for ground truth...")
+    reference = run_reference(benchmark.program, machine)
+    print(f"  true CPI = {reference.cpi:.4f} over "
+          f"{reference.instructions:,} instructions\n")
+
+    warming_values = [0, 32, 128, 512, 1024]
+    rows = []
+    for warming in warming_values:
+        with_fw = measure_bias(
+            benchmark.program, machine, reference,
+            unit_size=50, target_sample_size=150,
+            detailed_warming=warming, functional_warming=True, phases=3)
+        without_fw = measure_bias(
+            benchmark.program, machine, reference,
+            unit_size=50, target_sample_size=150,
+            detailed_warming=warming, functional_warming=False, phases=3)
+        rows.append([
+            warming,
+            percent(with_fw.bias),
+            percent(without_fw.bias),
+        ])
+
+    print(format_table(
+        ["W (detailed warming)", "bias with functional warming",
+         "bias without functional warming"],
+        rows,
+        title="Measurement bias vs warming strategy"))
+    print("\nWith functional warming the bias collapses once W covers the "
+          "pipeline; without it, the bias remains large and erratic —"
+          " exactly the paper's argument for functional warming.")
+
+
+if __name__ == "__main__":
+    main()

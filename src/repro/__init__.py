@@ -1,0 +1,103 @@
+"""repro — a full reproduction of SMARTS (Wunderlich et al., ISCA 2003).
+
+SMARTS (Sampling Microarchitecture Simulation) accelerates detailed
+microarchitecture simulation by measuring only a statistically chosen
+systematic sample of tiny sampling units, keeping long-history
+microarchitectural state warm with functional warming in between, and
+reporting estimates with quantified confidence.
+
+This package provides:
+
+* ``repro.core`` — the SMARTS framework itself: sampling statistics,
+  systematic sampling plans, the sampling simulation engine, the
+  two-step estimation procedure, and the analytical speed model.
+* ``repro.isa`` / ``repro.functional`` / ``repro.detailed`` /
+  ``repro.memory`` / ``repro.branch`` / ``repro.energy`` /
+  ``repro.config`` — the simulation substrate: a small RISC-like ISA, a
+  functional simulator with functional warming, a detailed out-of-order
+  superscalar timing model with caches, TLBs, MSHRs, store buffer and
+  branch prediction, a Wattch-style energy model, and the paper's 8-way
+  and 16-way machine configurations.
+* ``repro.workloads`` — a synthetic benchmark suite standing in for
+  SPEC CPU2000.
+* ``repro.simpoint`` — the SimPoint baseline (BBV clustering).
+* ``repro.harness`` — reference simulations and one experiment entry
+  point per table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import estimate_metric, get_benchmark, scaled_8way
+
+    benchmark = get_benchmark("gcc.syn", scale=0.2)
+    result = estimate_metric(benchmark.program, scaled_8way(), metric="cpi")
+    print(result.estimate.mean, result.confidence_interval)
+"""
+
+from repro.config import (
+    MachineConfig,
+    get_config,
+    scaled_16way,
+    scaled_8way,
+    table3_16way,
+    table3_8way,
+)
+from repro.core import (
+    CONFIDENCE_95,
+    CONFIDENCE_997,
+    MetricEstimate,
+    ProcedureResult,
+    SamplingWorkload,
+    SimulatorRates,
+    SmartsEngine,
+    SmartsRunResult,
+    SystematicSamplingPlan,
+    estimate_metric,
+    recommended_warming,
+    required_sample_size,
+    run_smarts,
+)
+from repro.detailed import DetailedSimulator, MicroarchState, PipelineCounters
+from repro.energy import EnergyModel
+from repro.functional import FunctionalCore, FunctionalWarmer, measure_program_length
+from repro.harness import ExperimentContext, run_reference
+from repro.simpoint import run_simpoint
+from repro.workloads import SUITE_NAMES, build_suite, get_benchmark, micro_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CONFIDENCE_95",
+    "CONFIDENCE_997",
+    "DetailedSimulator",
+    "EnergyModel",
+    "ExperimentContext",
+    "FunctionalCore",
+    "FunctionalWarmer",
+    "MachineConfig",
+    "MetricEstimate",
+    "MicroarchState",
+    "PipelineCounters",
+    "ProcedureResult",
+    "SUITE_NAMES",
+    "SamplingWorkload",
+    "SimulatorRates",
+    "SmartsEngine",
+    "SmartsRunResult",
+    "SystematicSamplingPlan",
+    "build_suite",
+    "estimate_metric",
+    "get_benchmark",
+    "get_config",
+    "measure_program_length",
+    "micro_benchmark",
+    "recommended_warming",
+    "required_sample_size",
+    "run_reference",
+    "run_simpoint",
+    "run_smarts",
+    "scaled_16way",
+    "scaled_8way",
+    "table3_16way",
+    "table3_8way",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Branch prediction substrate."""
+
+from repro.branch.btb import BranchTargetBuffer, ReturnAddressStack
+from repro.branch.predictors import (
+    BimodalPredictor,
+    CombinedPredictor,
+    GSharePredictor,
+    SaturatingCounterTable,
+)
+from repro.branch.unit import BranchOutcome, BranchUnit
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchOutcome",
+    "BranchTargetBuffer",
+    "BranchUnit",
+    "CombinedPredictor",
+    "GSharePredictor",
+    "ReturnAddressStack",
+    "SaturatingCounterTable",
+]

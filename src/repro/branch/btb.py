@@ -1,0 +1,90 @@
+"""Branch target buffer and return address stack."""
+
+from __future__ import annotations
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB mapping branch PCs to predicted targets."""
+
+    def __init__(self, entries: int, assoc: int = 4) -> None:
+        if entries <= 0 or assoc <= 0:
+            raise ValueError("BTB entries and associativity must be positive")
+        if entries % assoc != 0:
+            raise ValueError("BTB entries must be a multiple of associativity")
+        self.entries = entries
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        # Each set is a list of [tag, target] with MRU last.
+        self._sets: list[list[list[int]]] = [[] for _ in range(self.num_sets)]
+        self.lookups = 0
+        self.hits = 0
+
+    def lookup(self, pc: int) -> int | None:
+        """Predicted target for the branch at ``pc`` (None on BTB miss)."""
+        index = pc % self.num_sets
+        tag = pc // self.num_sets
+        self.lookups += 1
+        for i, entry in enumerate(self._sets[index]):
+            if entry[0] == tag:
+                if i != len(self._sets[index]) - 1:
+                    self._sets[index].append(self._sets[index].pop(i))
+                self.hits += 1
+                return entry[1]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Install or refresh the target of the branch at ``pc``."""
+        index = pc % self.num_sets
+        tag = pc // self.num_sets
+        btb_set = self._sets[index]
+        for i, entry in enumerate(btb_set):
+            if entry[0] == tag:
+                entry[1] = target
+                if i != len(btb_set) - 1:
+                    btb_set.append(btb_set.pop(i))
+                return
+        if len(btb_set) >= self.assoc:
+            btb_set.pop(0)
+        btb_set.append([tag, target])
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.lookups = 0
+        self.hits = 0
+
+
+class ReturnAddressStack:
+    """Fixed-depth return address stack for call/return prediction."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("RAS entries must be positive")
+        self.entries = entries
+        self._stack: list[int] = []
+
+    def push(self, return_address: int) -> None:
+        if len(self._stack) >= self.entries:
+            self._stack.pop(0)
+        self._stack.append(return_address)
+
+    def pop(self) -> int | None:
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def top(self) -> int | None:
+        if self._stack:
+            return self._stack[-1]
+        return None
+
+    def reset(self) -> None:
+        self._stack = []
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,143 @@
+"""Branch direction predictors: bimodal, gshare, and combined.
+
+The machine configurations in Table 3 use a *combined* predictor
+("Combined 2K tables"): a bimodal component, a global-history (gshare)
+component, and a meta predictor choosing between them per branch —
+SimpleScalar's ``comb`` predictor.  All tables are arrays of 2-bit
+saturating counters.
+"""
+
+from __future__ import annotations
+
+
+class SaturatingCounterTable:
+    """A table of 2-bit saturating counters."""
+
+    #: Counter value at and above which the prediction is "taken".
+    TAKEN_THRESHOLD = 2
+    MAX_VALUE = 3
+
+    def __init__(self, entries: int, initial: int = 1) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("counter table entries must be a positive power of two")
+        if not 0 <= initial <= self.MAX_VALUE:
+            raise ValueError("initial counter value out of range")
+        self.entries = entries
+        self.counters = [initial] * entries
+        self.mask = entries - 1
+
+    def predict(self, index: int) -> bool:
+        return self.counters[index & self.mask] >= self.TAKEN_THRESHOLD
+
+    def update(self, index: int, taken: bool) -> None:
+        i = index & self.mask
+        value = self.counters[i]
+        if taken:
+            if value < self.MAX_VALUE:
+                self.counters[i] = value + 1
+        else:
+            if value > 0:
+                self.counters[i] = value - 1
+
+    def reset(self, initial: int = 1) -> None:
+        self.counters = [initial] * self.entries
+
+
+class BimodalPredictor:
+    """PC-indexed table of 2-bit counters."""
+
+    def __init__(self, entries: int) -> None:
+        self.table = SaturatingCounterTable(entries)
+
+    def predict(self, pc: int) -> bool:
+        return self.table.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.table.update(pc, taken)
+
+    def reset(self) -> None:
+        self.table.reset()
+
+
+class GSharePredictor:
+    """Global-history predictor: table indexed by ``pc XOR history``."""
+
+    def __init__(self, entries: int, history_bits: int) -> None:
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self.table = SaturatingCounterTable(entries)
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.history = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self.history) & self.table.mask
+
+    def predict(self, pc: int) -> bool:
+        return self.table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.table.update(self._index(pc), taken)
+        self.history = ((self.history << 1) | int(taken)) & self.history_mask
+
+    def reset(self) -> None:
+        self.table.reset()
+        self.history = 0
+
+
+class CombinedPredictor:
+    """Meta-predicted combination of bimodal and gshare components.
+
+    The meta table (2-bit counters) selects, per PC, which component's
+    prediction to use; it is trained toward whichever component was
+    correct when the two disagree.
+    """
+
+    def __init__(self, entries: int, history_bits: int) -> None:
+        self.bimodal = BimodalPredictor(entries)
+        self.gshare = GSharePredictor(entries, history_bits)
+        self.meta = SaturatingCounterTable(entries)
+        self.lookups = 0
+        self.mispredictions = 0
+
+    def predict(self, pc: int) -> bool:
+        use_gshare = self.meta.predict(pc)
+        if use_gshare:
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train all components with the resolved outcome."""
+        bimodal_pred = self.bimodal.predict(pc)
+        gshare_pred = self.gshare.predict(pc)
+        if bimodal_pred != gshare_pred:
+            # Meta counter moves toward the component that was right.
+            self.meta.update(pc, gshare_pred == taken)
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict, record accuracy statistics, then train."""
+        prediction = self.predict(pc)
+        self.lookups += 1
+        if prediction != taken:
+            self.mispredictions += 1
+        self.update(pc, taken)
+        return prediction
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.mispredictions / self.lookups
+
+    def reset(self) -> None:
+        self.bimodal.reset()
+        self.gshare.reset()
+        self.meta.reset()
+        self.lookups = 0
+        self.mispredictions = 0
+
+    def reset_stats(self) -> None:
+        self.lookups = 0
+        self.mispredictions = 0

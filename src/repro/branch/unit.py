@@ -1,0 +1,125 @@
+"""The branch unit: direction predictor + BTB + RAS behind one interface.
+
+The detailed simulator asks the unit whether a dynamic branch was
+predicted correctly (direction *and* target); functional warming trains
+the unit without asking for predictions.  Because the unit is shared
+between modes, its state is continuously warm across fast-forwarding —
+exactly the functional warming of Section 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.branch.btb import BranchTargetBuffer, ReturnAddressStack
+from repro.branch.predictors import CombinedPredictor
+from repro.config.machines import BranchConfig
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import Opcode
+
+
+@dataclass
+class BranchOutcome:
+    """Result of consulting the branch unit for one dynamic branch."""
+
+    predicted_taken: bool
+    predicted_target: int | None
+    mispredicted: bool
+
+
+class BranchUnit:
+    """Combined predictor, BTB, and return address stack."""
+
+    def __init__(self, config: BranchConfig) -> None:
+        self.config = config
+        self.predictor = CombinedPredictor(config.table_entries, config.history_bits)
+        self.btb = BranchTargetBuffer(config.btb_entries, config.btb_assoc)
+        self.ras = ReturnAddressStack(config.ras_entries)
+        self.branches = 0
+        self.mispredictions = 0
+
+    # ------------------------------------------------------------------
+    # Detailed-mode interface
+    # ------------------------------------------------------------------
+    def resolve(self, dyn: DynInst) -> BranchOutcome:
+        """Predict the branch, compare to the actual outcome, and train.
+
+        Mirrors SimpleScalar's per-branch flow: direction prediction for
+        conditional branches, target prediction through the BTB (or RAS
+        for returns), then training with the resolved outcome.
+        """
+        pc = dyn.pc
+        op = dyn.op
+        actual_taken = dyn.taken
+        actual_target = dyn.next_pc
+
+        if dyn.is_conditional:
+            predicted_taken = self.predictor.predict(pc)
+            predicted_target = self.btb.lookup(pc) if predicted_taken else pc + 1
+            self.predictor.update(pc, actual_taken)
+        elif op == Opcode.JAL:
+            predicted_taken = True
+            predicted_target = self.btb.lookup(pc)
+            self.ras.push(pc + 1)
+        elif op == Opcode.JR:
+            predicted_taken = True
+            predicted_target = self.ras.pop()
+            if predicted_target is None:
+                predicted_target = self.btb.lookup(pc)
+        else:  # JUMP
+            predicted_taken = True
+            predicted_target = self.btb.lookup(pc)
+
+        if actual_taken:
+            self.btb.update(pc, actual_target)
+
+        mispredicted = predicted_taken != actual_taken
+        if not mispredicted and actual_taken:
+            mispredicted = predicted_target != actual_target
+
+        self.branches += 1
+        if mispredicted:
+            self.mispredictions += 1
+        return BranchOutcome(predicted_taken, predicted_target, mispredicted)
+
+    # ------------------------------------------------------------------
+    # Functional-warming interface
+    # ------------------------------------------------------------------
+    def warm(self, dyn: DynInst) -> None:
+        """Train predictor structures without recording predictions.
+
+        Used during functional warming so the direction tables, global
+        history, BTB and RAS track the full instruction stream between
+        sampling units.
+        """
+        pc = dyn.pc
+        op = dyn.op
+        if dyn.is_conditional:
+            self.predictor.update(pc, dyn.taken)
+        elif op == Opcode.JAL:
+            self.ras.push(pc + 1)
+        elif op == Opcode.JR:
+            self.ras.pop()
+        if dyn.taken:
+            self.btb.update(pc, dyn.next_pc)
+
+    # ------------------------------------------------------------------
+    # Statistics / state management
+    # ------------------------------------------------------------------
+    @property
+    def misprediction_rate(self) -> float:
+        if self.branches == 0:
+            return 0.0
+        return self.mispredictions / self.branches
+
+    def reset(self) -> None:
+        self.predictor.reset()
+        self.btb.reset()
+        self.ras.reset()
+        self.branches = 0
+        self.mispredictions = 0
+
+    def reset_stats(self) -> None:
+        self.predictor.reset_stats()
+        self.branches = 0
+        self.mispredictions = 0

@@ -1,0 +1,222 @@
+"""Command line interface for the SMARTS reproduction.
+
+The CLI exposes the library's main workflows without writing any Python:
+
+* ``repro-smarts list`` — show the synthetic benchmark suite.
+* ``repro-smarts estimate gcc.syn`` — estimate CPI (or EPI) with the
+  SMARTS two-step procedure, optionally validating against a full
+  detailed run.
+* ``repro-smarts reference gcc.syn`` — run the full-stream detailed
+  simulation and report CPI, EPI, and miss rates.
+* ``repro-smarts simpoint gcc.syn`` — run the SimPoint baseline.
+* ``repro-smarts experiment fig6`` — regenerate one of the paper's
+  tables/figures and print its report.
+
+Every command accepts ``--machine {8-way,16-way}`` (the scaled Table 3
+configurations) and ``--scale`` to control benchmark length.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.config import scaled_16way, scaled_8way
+from repro.core.procedure import estimate_metric, recommended_warming
+from repro.harness import experiments as exp
+from repro.harness.reference import run_reference
+from repro.harness.reporting import format_table
+from repro.simpoint import run_simpoint
+from repro.workloads import SUITE_NAMES, get_benchmark, suite_specs
+
+#: Experiment name -> harness entry point.
+EXPERIMENTS = {
+    "table3": exp.table3_configurations,
+    "fig2": exp.figure2_cv_curves,
+    "fig3": exp.figure3_minimum_instructions,
+    "fig4": exp.figure4_speed_model,
+    "fig5": exp.figure5_optimal_unit_size,
+    "table4": exp.table4_detailed_warming,
+    "table5": exp.table5_functional_warming_bias,
+    "fig6": exp.figure6_cpi_estimates,
+    "fig7": exp.figure7_epi_estimates,
+    "table6": exp.table6_runtimes,
+    "fig8": exp.figure8_simpoint_comparison,
+}
+
+
+def _machine(name: str):
+    return scaled_8way() if name == "8-way" else scaled_16way()
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--machine", choices=["8-way", "16-way"],
+                        default="8-way", help="machine configuration")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="benchmark length scale factor")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-smarts",
+        description="SMARTS sampling microarchitecture simulation "
+                    "(ISCA 2003 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the synthetic benchmark suite")
+
+    estimate = sub.add_parser(
+        "estimate", help="estimate CPI/EPI with the SMARTS procedure")
+    estimate.add_argument("benchmark", choices=SUITE_NAMES)
+    _add_common(estimate)
+    estimate.add_argument("--metric", choices=["cpi", "epi"], default="cpi")
+    estimate.add_argument("--unit-size", type=int, default=50,
+                          help="sampling unit size U (instructions)")
+    estimate.add_argument("--warming", type=int, default=None,
+                          help="detailed warming W (default: recommended)")
+    estimate.add_argument("--no-functional-warming", action="store_true",
+                          help="disable functional warming (not recommended)")
+    estimate.add_argument("--epsilon", type=float, default=0.075,
+                          help="target relative confidence interval")
+    estimate.add_argument("--confidence", type=float, default=0.997)
+    estimate.add_argument("--n-init", type=int, default=300,
+                          help="initial sample size")
+    estimate.add_argument("--rounds", type=int, default=2,
+                          help="maximum sampling rounds")
+    estimate.add_argument("--validate", action="store_true",
+                          help="also run the full detailed reference and "
+                               "report the actual error")
+
+    reference = sub.add_parser(
+        "reference", help="run full-stream detailed simulation")
+    reference.add_argument("benchmark", choices=SUITE_NAMES)
+    _add_common(reference)
+    reference.add_argument("--no-cache", action="store_true",
+                           help="ignore the on-disk reference cache")
+
+    simpoint = sub.add_parser("simpoint", help="run the SimPoint baseline")
+    simpoint.add_argument("benchmark", choices=SUITE_NAMES)
+    _add_common(simpoint)
+    simpoint.add_argument("--interval-size", type=int, default=2500)
+    simpoint.add_argument("--max-clusters", type=int, default=8)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_list() -> int:
+    rows = [[spec.name, spec.category, spec.description]
+            for spec in suite_specs()]
+    print(format_table(["benchmark", "category", "description"], rows,
+                       title="Synthetic benchmark suite (SPEC2K stand-ins)"))
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine)
+    benchmark = get_benchmark(args.benchmark, scale=args.scale)
+    warming = args.warming
+    if warming is None:
+        warming = recommended_warming(machine)
+    result = estimate_metric(
+        benchmark.program, machine,
+        metric=args.metric,
+        unit_size=args.unit_size,
+        detailed_warming=warming,
+        functional_warming=not args.no_functional_warming,
+        epsilon=args.epsilon,
+        confidence=args.confidence,
+        n_init=args.n_init,
+        max_rounds=args.rounds,
+    )
+    estimate = result.estimate
+    label = args.metric.upper()
+    print(f"benchmark            : {benchmark.name} "
+          f"({result.benchmark_length:,} instructions)")
+    print(f"machine              : {machine.name}")
+    print(f"U / W / warming mode : {args.unit_size} / {warming} / "
+          f"{'functional' if not args.no_functional_warming else 'detailed-only'}")
+    print(f"{label} estimate         : {estimate.mean:.4f}")
+    print(f"coefficient of var.  : {estimate.coefficient_of_variation:.3f}")
+    print(f"confidence interval  : ±{result.confidence_interval:.2%} "
+          f"at {args.confidence:.1%} confidence "
+          f"({'target met' if result.target_met else 'target NOT met'})")
+    print(f"sampling rounds      : {len(result.runs)} "
+          f"(n = {[run.sample_size for run in result.runs]})")
+    print(f"measured instructions: {result.total_measured_instructions:,} "
+          f"({result.total_measured_instructions / result.benchmark_length:.2%} "
+          f"of the stream)")
+    if args.validate:
+        reference = run_reference(benchmark.program, machine)
+        true_value = reference.cpi if args.metric == "cpi" else reference.epi
+        error = (estimate.mean - true_value) / true_value
+        print(f"true {label} (full run)  : {true_value:.4f}")
+        print(f"actual error         : {error:+.2%}")
+    return 0
+
+
+def _cmd_reference(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine)
+    benchmark = get_benchmark(args.benchmark, scale=args.scale)
+    reference = run_reference(benchmark.program, machine,
+                              use_cache=not args.no_cache)
+    print(f"benchmark    : {benchmark.name}")
+    print(f"machine      : {machine.name}")
+    print(f"instructions : {reference.instructions:,}")
+    print(f"cycles       : {reference.cycles:,}")
+    print(f"CPI          : {reference.cpi:.4f}")
+    print(f"EPI (nJ)     : {reference.epi:.4f}")
+    print(f"wall seconds : {reference.seconds:.1f}")
+    return 0
+
+
+def _cmd_simpoint(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine)
+    benchmark = get_benchmark(args.benchmark, scale=args.scale)
+    result = run_simpoint(benchmark.program, machine,
+                          interval_size=args.interval_size,
+                          max_clusters=args.max_clusters)
+    print(f"benchmark          : {benchmark.name}")
+    print(f"machine            : {machine.name}")
+    print(f"clusters           : {result.num_clusters}")
+    print(f"intervals simulated: {len(result.simpoints)} x "
+          f"{result.interval_size} instructions")
+    print(f"CPI estimate       : {result.cpi:.4f}")
+    print(f"EPI estimate (nJ)  : {result.epi:.4f}")
+    return 0
+
+
+def _cmd_experiment(name: str) -> int:
+    ctx = exp.default_context()
+    data = EXPERIMENTS[name](ctx)
+    print(data["report"])
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "estimate":
+        return _cmd_estimate(args)
+    if args.command == "reference":
+        return _cmd_reference(args)
+    if args.command == "simpoint":
+        return _cmd_simpoint(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args.name)
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

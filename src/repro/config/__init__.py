@@ -1,0 +1,27 @@
+"""Machine and simulation configurations."""
+
+from repro.config.machines import (
+    CONFIGURATIONS,
+    BranchConfig,
+    CacheConfig,
+    MachineConfig,
+    TLBConfig,
+    get_config,
+    scaled_16way,
+    scaled_8way,
+    table3_16way,
+    table3_8way,
+)
+
+__all__ = [
+    "BranchConfig",
+    "CONFIGURATIONS",
+    "CacheConfig",
+    "MachineConfig",
+    "TLBConfig",
+    "get_config",
+    "scaled_16way",
+    "scaled_8way",
+    "table3_16way",
+    "table3_8way",
+]

@@ -1,0 +1,318 @@
+"""Machine configurations (Table 3 of the paper).
+
+Two families of configurations are provided:
+
+* :func:`table3_8way` / :func:`table3_16way` — the literal parameters the
+  paper lists in Table 3 for its 8-way baseline and 16-way aggressive
+  configurations.
+* :func:`scaled_8way` / :func:`scaled_16way` — the same machines with the
+  capacity-type parameters (cache/TLB/predictor sizes, memory latency)
+  scaled down to match the working-set sizes of this repository's
+  synthetic workloads, which are orders of magnitude shorter than SPEC
+  CPU2000 reference runs.  All *ratios* the paper's arguments rest on are
+  preserved: the 16-way machine doubles datapath width, window, cache
+  capacity and predictor size relative to the 8-way machine, exactly as
+  in Table 3.
+
+The experiments in ``benchmarks/`` use the scaled configurations by
+default (see DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.isa.opcodes import OpClass, Opcode
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    assoc: int
+    block_bytes: int = 32
+    ports: int = 1
+    mshr_entries: int = 8
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Geometry of one TLB."""
+
+    entries: int
+    assoc: int
+    page_bytes: int = 4096
+
+
+@dataclass(frozen=True)
+class BranchConfig:
+    """Branch prediction resources."""
+
+    #: Entries in each of the combined predictor's component tables.
+    table_entries: int = 2048
+    #: Global history bits for the gshare component.
+    history_bits: int = 10
+    btb_entries: int = 512
+    btb_assoc: int = 4
+    ras_entries: int = 8
+    mispredict_penalty: int = 7
+    predictions_per_cycle: int = 1
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete processor + memory-system configuration.
+
+    Mirrors the parameter groups of Table 3: datapath widths, RUU/LSQ
+    sizes, the memory system, TLBs, latencies, functional units and the
+    branch predictor.
+    """
+
+    name: str
+
+    # Datapath
+    fetch_width: int = 8
+    issue_width: int = 8
+    commit_width: int = 8
+    ruu_size: int = 128
+    lsq_size: int = 64
+
+    # Memory system
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 2))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 2))
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(1024 * 1024, 4, block_bytes=64)
+    )
+    store_buffer_entries: int = 16
+
+    # TLBs
+    itlb: TLBConfig = field(default_factory=lambda: TLBConfig(128, 4))
+    dtlb: TLBConfig = field(default_factory=lambda: TLBConfig(256, 4))
+    tlb_miss_latency: int = 200
+
+    # Latencies (cycles)
+    l1_latency: int = 1
+    l2_latency: int = 12
+    mem_latency: int = 100
+
+    # Functional units: number of units per scheduling class.
+    fu_counts: dict = field(
+        default_factory=lambda: {
+            OpClass.IALU: 4,
+            OpClass.IMULT: 2,
+            OpClass.FPALU: 2,
+            OpClass.FPMULT: 1,
+        }
+    )
+    # Execution latency per scheduling class (divides override below).
+    fu_latency: dict = field(
+        default_factory=lambda: {
+            OpClass.IALU: 1,
+            OpClass.IMULT: 3,
+            OpClass.FPALU: 2,
+            OpClass.FPMULT: 4,
+            OpClass.LOAD: 1,
+            OpClass.STORE: 1,
+            OpClass.BRANCH: 1,
+            OpClass.NOP: 1,
+        }
+    )
+    # Opcode-specific latency overrides (long-latency divides).
+    op_latency: dict = field(
+        default_factory=lambda: {
+            Opcode.DIV: 12,
+            Opcode.MOD: 12,
+            Opcode.FDIV: 12,
+            Opcode.FSQRT: 16,
+        }
+    )
+
+    # Branch prediction
+    branch: BranchConfig = field(default_factory=BranchConfig)
+
+    def exec_latency(self, op: Opcode, opclass: OpClass) -> int:
+        """Execution latency of an instruction (excluding memory time)."""
+        override = self.op_latency.get(op)
+        if override is not None:
+            return override
+        return self.fu_latency[opclass]
+
+    def describe(self) -> dict[str, str]:
+        """Table 3-style description rows for reporting."""
+        return {
+            "RUU/LSQ": f"{self.ruu_size}/{self.lsq_size}",
+            "Width (fetch/issue/commit)": (
+                f"{self.fetch_width}/{self.issue_width}/{self.commit_width}"
+            ),
+            "L1 I/D": (
+                f"{self.l1i.size_bytes // 1024}KB {self.l1i.assoc}-way, "
+                f"{self.l1d.ports} ports, {self.l1d.mshr_entries} MSHR"
+            ),
+            "L2": f"{self.l2.size_bytes // 1024}KB {self.l2.assoc}-way",
+            "Store buffer": f"{self.store_buffer_entries} entries",
+            "ITLB/DTLB": (
+                f"{self.itlb.assoc}-way {self.itlb.entries} entries / "
+                f"{self.dtlb.assoc}-way {self.dtlb.entries} entries, "
+                f"{self.tlb_miss_latency} cycle miss"
+            ),
+            "L1/L2/mem latency": (
+                f"{self.l1_latency}/{self.l2_latency}/{self.mem_latency} cycles"
+            ),
+            "Functional units": (
+                f"{self.fu_counts[OpClass.IALU]} I-ALU, "
+                f"{self.fu_counts[OpClass.IMULT]} I-MUL/DIV, "
+                f"{self.fu_counts[OpClass.FPALU]} FP-ALU, "
+                f"{self.fu_counts[OpClass.FPMULT]} FP-MUL/DIV"
+            ),
+            "Branch predictor": (
+                f"Combined {self.branch.table_entries // 1024}K tables, "
+                f"{self.branch.mispredict_penalty} cycle mispred., "
+                f"{self.branch.predictions_per_cycle} prediction/cycle"
+            ),
+        }
+
+
+# ----------------------------------------------------------------------
+# Literal Table 3 configurations
+# ----------------------------------------------------------------------
+def table3_8way() -> MachineConfig:
+    """The paper's 8-way baseline configuration (Table 3)."""
+    return MachineConfig(
+        name="8-way",
+        fetch_width=8,
+        issue_width=8,
+        commit_width=8,
+        ruu_size=128,
+        lsq_size=64,
+        l1i=CacheConfig(32 * 1024, 2, ports=2, mshr_entries=8),
+        l1d=CacheConfig(32 * 1024, 2, ports=2, mshr_entries=8),
+        l2=CacheConfig(1024 * 1024, 4, block_bytes=64),
+        store_buffer_entries=16,
+        itlb=TLBConfig(128, 4),
+        dtlb=TLBConfig(256, 4),
+        tlb_miss_latency=200,
+        l1_latency=1,
+        l2_latency=12,
+        mem_latency=100,
+        fu_counts={
+            OpClass.IALU: 4,
+            OpClass.IMULT: 2,
+            OpClass.FPALU: 2,
+            OpClass.FPMULT: 1,
+        },
+        branch=BranchConfig(
+            table_entries=2048,
+            history_bits=11,
+            mispredict_penalty=7,
+            predictions_per_cycle=1,
+        ),
+    )
+
+
+def table3_16way() -> MachineConfig:
+    """The paper's 16-way aggressive configuration (Table 3)."""
+    return MachineConfig(
+        name="16-way",
+        fetch_width=16,
+        issue_width=16,
+        commit_width=16,
+        ruu_size=256,
+        lsq_size=128,
+        l1i=CacheConfig(64 * 1024, 2, ports=4, mshr_entries=16),
+        l1d=CacheConfig(64 * 1024, 2, ports=4, mshr_entries=16),
+        l2=CacheConfig(2 * 1024 * 1024, 8, block_bytes=64),
+        store_buffer_entries=32,
+        itlb=TLBConfig(128, 4),
+        dtlb=TLBConfig(256, 4),
+        tlb_miss_latency=200,
+        l1_latency=2,
+        l2_latency=16,
+        mem_latency=100,
+        fu_counts={
+            OpClass.IALU: 16,
+            OpClass.IMULT: 8,
+            OpClass.FPALU: 8,
+            OpClass.FPMULT: 4,
+        },
+        branch=BranchConfig(
+            table_entries=8192,
+            history_bits=13,
+            mispredict_penalty=10,
+            predictions_per_cycle=2,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Scaled configurations used by the experiments
+# ----------------------------------------------------------------------
+def scaled_8way() -> MachineConfig:
+    """8-way baseline scaled to the synthetic workloads' working sets.
+
+    Cache, TLB and predictor capacities are reduced (the workloads touch
+    kilobytes to a few megabytes rather than SPEC's hundreds of
+    megabytes) so that L1/L2/memory miss behaviour — the source of CPI
+    variability the paper studies — actually occurs.
+    """
+    base = table3_8way()
+    return replace(
+        base,
+        name="8-way-scaled",
+        l1i=CacheConfig(4 * 1024, 2, block_bytes=32, ports=2, mshr_entries=8),
+        l1d=CacheConfig(4 * 1024, 2, block_bytes=32, ports=2, mshr_entries=8),
+        l2=CacheConfig(32 * 1024, 4, block_bytes=64),
+        itlb=TLBConfig(16, 4, page_bytes=1024),
+        dtlb=TLBConfig(32, 4, page_bytes=1024),
+        tlb_miss_latency=30,
+        branch=BranchConfig(
+            table_entries=512,
+            history_bits=9,
+            btb_entries=256,
+            mispredict_penalty=7,
+            predictions_per_cycle=1,
+        ),
+    )
+
+
+def scaled_16way() -> MachineConfig:
+    """16-way aggressive machine scaled like :func:`scaled_8way`."""
+    base = table3_16way()
+    return replace(
+        base,
+        name="16-way-scaled",
+        l1i=CacheConfig(8 * 1024, 2, block_bytes=32, ports=4, mshr_entries=16),
+        l1d=CacheConfig(8 * 1024, 2, block_bytes=32, ports=4, mshr_entries=16),
+        l2=CacheConfig(64 * 1024, 8, block_bytes=64),
+        itlb=TLBConfig(16, 4, page_bytes=1024),
+        dtlb=TLBConfig(32, 4, page_bytes=1024),
+        tlb_miss_latency=30,
+        branch=BranchConfig(
+            table_entries=2048,
+            history_bits=11,
+            btb_entries=512,
+            mispredict_penalty=10,
+            predictions_per_cycle=2,
+        ),
+    )
+
+
+#: Registry of named configurations for the experiment harness.
+CONFIGURATIONS = {
+    "8-way": table3_8way,
+    "16-way": table3_16way,
+    "8-way-scaled": scaled_8way,
+    "16-way-scaled": scaled_16way,
+}
+
+
+def get_config(name: str) -> MachineConfig:
+    """Look up a configuration by name."""
+    try:
+        factory = CONFIGURATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine configuration {name!r}; "
+            f"available: {sorted(CONFIGURATIONS)}"
+        ) from None
+    return factory()

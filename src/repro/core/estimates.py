@@ -1,0 +1,188 @@
+"""Result dataclasses produced by SMARTS runs and reference simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.stats import (
+    CONFIDENCE_997,
+    SampleStatistics,
+    sample_statistics,
+)
+
+
+@dataclass(frozen=True)
+class UnitRecord:
+    """Measurements of one sampling unit."""
+
+    index: int           #: Unit index within the population.
+    instructions: int    #: Instructions measured (== U except at stream end).
+    cycles: int          #: Cycles the unit took in detailed simulation.
+    energy: float        #: Energy (nJ) charged to the unit.
+
+    @property
+    def cpi(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.cycles / self.instructions
+
+    @property
+    def epi(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.energy / self.instructions
+
+
+@dataclass(frozen=True)
+class MetricEstimate:
+    """A sample-derived estimate of one per-instruction metric."""
+
+    name: str
+    statistics: SampleStatistics
+    population_size: int | None = None
+
+    @property
+    def mean(self) -> float:
+        return self.statistics.mean
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        return self.statistics.coefficient_of_variation
+
+    @property
+    def sample_size(self) -> int:
+        return self.statistics.n
+
+    def confidence_interval(self, confidence: float = CONFIDENCE_997) -> float:
+        """Relative confidence interval half-width (fraction of the mean)."""
+        return self.statistics.confidence_interval(confidence)
+
+    def absolute_confidence_interval(self, confidence: float = CONFIDENCE_997) -> float:
+        return self.statistics.absolute_confidence_interval(confidence)
+
+    def meets(self, epsilon: float, confidence: float = CONFIDENCE_997) -> bool:
+        """True if the estimate's confidence interval is within ±epsilon."""
+        return self.confidence_interval(confidence) <= epsilon
+
+    @classmethod
+    def from_values(cls, name: str, values, population_size: int | None = None
+                    ) -> "MetricEstimate":
+        return cls(name=name, statistics=sample_statistics(values),
+                   population_size=population_size)
+
+
+@dataclass
+class SmartsRunResult:
+    """Everything produced by one SMARTS sampling simulation run."""
+
+    benchmark: str
+    machine: str
+    unit_size: int
+    interval: int
+    offset: int
+    detailed_warming: int
+    functional_warming: bool
+
+    units: list[UnitRecord] = field(default_factory=list)
+    benchmark_length: int = 0
+    instructions_measured: int = 0
+    instructions_detailed_warming: int = 0
+    instructions_fastforwarded: int = 0
+
+    #: Wall-clock seconds spent in each simulation mode.
+    seconds_detailed: float = 0.0
+    seconds_fastforward: float = 0.0
+
+    @property
+    def sample_size(self) -> int:
+        return len(self.units)
+
+    @property
+    def population_size(self) -> int:
+        return self.benchmark_length // self.unit_size if self.unit_size else 0
+
+    @property
+    def cpi(self) -> MetricEstimate:
+        """CPI estimate over the measured sampling units."""
+        return MetricEstimate.from_values(
+            "cpi", [u.cpi for u in self.units], self.population_size)
+
+    @property
+    def epi(self) -> MetricEstimate:
+        """Energy-per-instruction estimate over the measured units."""
+        return MetricEstimate.from_values(
+            "epi", [u.epi for u in self.units], self.population_size)
+
+    @property
+    def detailed_fraction(self) -> float:
+        """Fraction of the benchmark simulated in detail (measured + W)."""
+        if self.benchmark_length == 0:
+            return 0.0
+        detailed = self.instructions_measured + self.instructions_detailed_warming
+        return detailed / self.benchmark_length
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.seconds_detailed + self.seconds_fastforward
+
+    def unit_cpi_values(self) -> np.ndarray:
+        return np.asarray([u.cpi for u in self.units], dtype=float)
+
+    def unit_epi_values(self) -> np.ndarray:
+        return np.asarray([u.epi for u in self.units], dtype=float)
+
+    def summary(self) -> dict[str, float]:
+        """Compact dictionary used by the reporting harness."""
+        cpi = self.cpi
+        epi = self.epi
+        return {
+            "benchmark": self.benchmark,
+            "machine": self.machine,
+            "U": self.unit_size,
+            "k": self.interval,
+            "j": self.offset,
+            "W": self.detailed_warming,
+            "functional_warming": self.functional_warming,
+            "n": self.sample_size,
+            "N": self.population_size,
+            "cpi": cpi.mean,
+            "cpi_cv": cpi.coefficient_of_variation,
+            "cpi_ci_997": cpi.confidence_interval(CONFIDENCE_997),
+            "epi": epi.mean,
+            "epi_cv": epi.coefficient_of_variation,
+            "epi_ci_997": epi.confidence_interval(CONFIDENCE_997),
+            "detailed_fraction": self.detailed_fraction,
+            "instructions_measured": self.instructions_measured,
+            "benchmark_length": self.benchmark_length,
+        }
+
+
+@dataclass
+class ReferenceResult:
+    """Full-stream detailed simulation results for one benchmark/machine."""
+
+    benchmark: str
+    machine: str
+    instructions: int
+    cycles: int
+    energy: float
+    #: Per-chunk cycle counts at ``chunk_size`` granularity (for CV-vs-U
+    #: analysis and true-bias computation).
+    chunk_size: int = 0
+    chunk_cycles: np.ndarray = field(default_factory=lambda: np.empty(0))
+    chunk_energy: np.ndarray = field(default_factory=lambda: np.empty(0))
+    seconds: float = 0.0
+
+    @property
+    def cpi(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.cycles / self.instructions
+
+    @property
+    def epi(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.energy / self.instructions

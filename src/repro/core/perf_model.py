@@ -1,0 +1,203 @@
+"""Analytical simulation-speed model (Section 3.4 and Table 6).
+
+The paper models the SMARTS simulation rate as a weighted combination of
+the functional-simulation rate S_F (normalized to 1.0), the detailed-
+simulation rate S_D (expressed relative to S_F, e.g. 1/60), and — when
+functional warming is used — the functional-warming rate S_FW (~0.55 of
+S_F in SMARTSim).  The model drives:
+
+* Figure 4 — modeled SMARTS simulation rate as a function of W,
+* Table 6 — projected runtimes of functional, detailed and SMARTS
+  simulation, and
+* the headline speedup numbers (35x / 60x over full detailed simulation).
+
+Two flavours of the combination are provided: the paper's own expression
+(an instruction-weighted average of rates) and the exact time-based
+harmonic combination.  The former reproduces the paper's figures; the
+latter is what we use when projecting actual runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper-quoted relative detailed-simulation rates (Section 3.4).
+PAPER_SD_TODAY = 1.0 / 60.0      #: today's fastest detailed simulators
+PAPER_SD_FUTURE = 1.0 / 600.0    #: projected future detailed simulators
+#: Paper-quoted functional-warming rate relative to functional simulation.
+PAPER_SFW = 0.55
+#: Nominal functional simulation speed on the paper's 2 GHz Pentium 4,
+#: used to convert normalized rates into wall-clock time (Section 1:
+#: detailed simulation at ~0.5 MIPS with S_D = 1/60 implies S_F ~ 30 MIPS;
+#: Table 6's functional runtimes correspond to ~10 MIPS including I/O).
+PAPER_SF_MIPS = 10.0
+
+
+@dataclass(frozen=True)
+class SimulatorRates:
+    """Measured or assumed simulation rates, normalized to S_F = 1.
+
+    Attributes:
+        functional_ips: Absolute functional-simulation rate
+            (instructions per second) used to convert to wall-clock time.
+        s_detailed: Detailed-simulation rate relative to functional.
+        s_warming: Functional-warming rate relative to functional.
+    """
+
+    functional_ips: float
+    s_detailed: float
+    s_warming: float
+
+    def __post_init__(self) -> None:
+        if self.functional_ips <= 0:
+            raise ValueError("functional_ips must be positive")
+        if not 0 < self.s_detailed <= 1:
+            raise ValueError("s_detailed must be in (0, 1]")
+        if not 0 < self.s_warming <= 1:
+            raise ValueError("s_warming must be in (0, 1]")
+
+    @classmethod
+    def paper(cls, s_detailed: float = PAPER_SD_TODAY) -> "SimulatorRates":
+        """The rates the paper assumes for its Figure 4 / Table 6 model."""
+        return cls(functional_ips=PAPER_SF_MIPS * 1e6,
+                   s_detailed=s_detailed, s_warming=PAPER_SFW)
+
+
+@dataclass(frozen=True)
+class SamplingWorkload:
+    """Instruction-count breakdown of one sampling simulation run."""
+
+    benchmark_length: int   #: total dynamic instructions (the stream)
+    sample_size: int        #: n, number of measured sampling units
+    unit_size: int          #: U
+    detailed_warming: int   #: W
+
+    @property
+    def detailed_instructions(self) -> int:
+        """Instructions simulated in detail: n * (U + W)."""
+        return self.sample_size * (self.unit_size + self.detailed_warming)
+
+    @property
+    def fastforward_instructions(self) -> int:
+        return max(0, self.benchmark_length - self.detailed_instructions)
+
+    @property
+    def detailed_fraction(self) -> float:
+        if self.benchmark_length == 0:
+            return 0.0
+        return min(1.0, self.detailed_instructions / self.benchmark_length)
+
+
+def paper_rate(workload: SamplingWorkload, rates: SimulatorRates,
+               functional_warming: bool = False) -> float:
+    """The paper's simulation-rate expression (normalized to S_F = 1).
+
+    ``S = S_ff · [N − n(U+W)]/N + S_D · [n(U+W)]/N`` where the
+    fast-forward rate ``S_ff`` is S_F without functional warming and
+    S_FW with it (Section 3.4).
+    """
+    fraction = workload.detailed_fraction
+    s_ff = rates.s_warming if functional_warming else 1.0
+    return s_ff * (1.0 - fraction) + rates.s_detailed * fraction
+
+
+def effective_rate(workload: SamplingWorkload, rates: SimulatorRates,
+                   functional_warming: bool = False) -> float:
+    """Time-exact (harmonic) simulation rate, normalized to S_F = 1."""
+    seconds = runtime_seconds(workload, rates, functional_warming)
+    if seconds == 0.0:
+        return 1.0
+    functional_equivalent = workload.benchmark_length / rates.functional_ips
+    return functional_equivalent / seconds
+
+
+def runtime_seconds(workload: SamplingWorkload, rates: SimulatorRates,
+                    functional_warming: bool = False) -> float:
+    """Projected wall-clock runtime of one SMARTS run."""
+    s_ff = rates.s_warming if functional_warming else 1.0
+    ff_rate = rates.functional_ips * s_ff
+    detailed_rate = rates.functional_ips * rates.s_detailed
+    return (workload.fastforward_instructions / ff_rate
+            + workload.detailed_instructions / detailed_rate)
+
+
+def detailed_runtime_seconds(benchmark_length: int, rates: SimulatorRates) -> float:
+    """Projected runtime of full-stream detailed simulation."""
+    return benchmark_length / (rates.functional_ips * rates.s_detailed)
+
+
+def functional_runtime_seconds(benchmark_length: int, rates: SimulatorRates) -> float:
+    """Projected runtime of full-stream functional simulation."""
+    return benchmark_length / rates.functional_ips
+
+
+def speedup_over_detailed(workload: SamplingWorkload, rates: SimulatorRates,
+                          functional_warming: bool = True) -> float:
+    """Speedup of SMARTS relative to full-stream detailed simulation."""
+    smarts = runtime_seconds(workload, rates, functional_warming)
+    if smarts == 0.0:
+        return float("inf")
+    return detailed_runtime_seconds(workload.benchmark_length, rates) / smarts
+
+
+def effective_mips(workload: SamplingWorkload, rates: SimulatorRates,
+                   functional_warming: bool = True) -> float:
+    """Effective simulation speed in MIPS (benchmark instructions per
+    wall-clock second, divided by 1e6) — the paper's headline "over 9
+    MIPS" metric."""
+    seconds = runtime_seconds(workload, rates, functional_warming)
+    if seconds == 0.0:
+        return float("inf")
+    return workload.benchmark_length / seconds / 1e6
+
+
+def rate_versus_warming(
+    benchmark_length: int,
+    sample_size: int,
+    unit_size: int,
+    warming_values: list[int],
+    rates: SimulatorRates,
+    functional_warming: bool = False,
+) -> list[tuple[int, float]]:
+    """Sweep W and return ``(W, normalized rate)`` pairs (Figure 4)."""
+    points = []
+    for warming in warming_values:
+        workload = SamplingWorkload(
+            benchmark_length=benchmark_length,
+            sample_size=sample_size,
+            unit_size=unit_size,
+            detailed_warming=warming,
+        )
+        points.append((warming, paper_rate(workload, rates, functional_warming)))
+    return points
+
+
+def optimal_unit_size(
+    benchmark_length: int,
+    cv_by_unit_size: dict[int, float],
+    warming: int,
+    epsilon: float = 0.03,
+    confidence: float = 0.997,
+) -> tuple[int, dict[int, float]]:
+    """Choose the U minimizing detail-simulated instructions (Figure 5).
+
+    Given the coefficient of variation measured at several unit sizes,
+    compute for each U the fraction of the benchmark that must be
+    simulated in detail, ``n(W + U)/N_instructions`` with n chosen for
+    the confidence target, and return the U with the smallest fraction
+    along with the full mapping.
+    """
+    from repro.core.stats import required_sample_size
+
+    fractions: dict[int, float] = {}
+    for unit_size, cv in cv_by_unit_size.items():
+        population = benchmark_length // unit_size
+        if population == 0:
+            continue
+        n = required_sample_size(cv, epsilon, confidence,
+                                 population_size=population)
+        fractions[unit_size] = n * (unit_size + warming) / benchmark_length
+    if not fractions:
+        raise ValueError("no feasible unit size for this benchmark length")
+    best = min(fractions, key=fractions.get)
+    return best, fractions

@@ -1,0 +1,184 @@
+"""Sampling designs: systematic and random sampling plans.
+
+A *sampling unit* is U consecutive instructions of the benchmark's
+dynamic instruction stream (Section 3.1).  A plan decides which unit
+indices are measured in detail.  SMARTS uses systematic sampling (fixed
+interval k, offset j); random sampling is provided for tests and for the
+homogeneity ablation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class SamplingUnit:
+    """One selected sampling unit."""
+
+    index: int          #: Unit index within the population (0-based).
+    start: int          #: First instruction of the unit (inclusive).
+    size: int           #: Unit size U in instructions.
+
+    @property
+    def end(self) -> int:
+        """One past the last instruction of the unit."""
+        return self.start + self.size
+
+
+@dataclass(frozen=True)
+class SystematicSamplingPlan:
+    """Systematic sampling at a fixed interval.
+
+    Args:
+        unit_size: U, instructions per sampling unit.
+        interval: k, units between consecutive measured units.
+        offset: j, index of the first measured unit (0 <= j < k).
+        detailed_warming: W, instructions simulated in detail (but not
+            measured) immediately before every measured unit.
+        functional_warming: Whether caches/TLBs/branch predictors are
+            kept warm during fast-forwarding between units.
+    """
+
+    unit_size: int
+    interval: int
+    offset: int = 0
+    detailed_warming: int = 0
+    functional_warming: bool = True
+
+    def __post_init__(self) -> None:
+        if self.unit_size <= 0:
+            raise ValueError("unit_size must be positive")
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if not 0 <= self.offset < self.interval:
+            raise ValueError("offset must satisfy 0 <= offset < interval")
+        if self.detailed_warming < 0:
+            raise ValueError("detailed_warming must be non-negative")
+        # Note: detailed_warming may exceed the gap between sampling units
+        # (large W at small sampling intervals).  The engine simply warms
+        # from wherever fast-forwarding stopped, so the effective warming
+        # is clamped to the available gap.
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def population_size(self, benchmark_length: int) -> int:
+        """Number of whole sampling units in a benchmark (N)."""
+        return benchmark_length // self.unit_size
+
+    def sample_size(self, benchmark_length: int) -> int:
+        """Number of units this plan measures for a benchmark (n)."""
+        population = self.population_size(benchmark_length)
+        if population <= self.offset:
+            return 0
+        return 1 + (population - self.offset - 1) // self.interval
+
+    def detailed_instructions(self, benchmark_length: int) -> int:
+        """Instructions simulated in detail: n * (U + W)."""
+        return self.sample_size(benchmark_length) * (
+            self.unit_size + self.detailed_warming)
+
+    def measured_instructions(self, benchmark_length: int) -> int:
+        """Instructions actually measured: n * U."""
+        return self.sample_size(benchmark_length) * self.unit_size
+
+    def detailed_fraction(self, benchmark_length: int) -> float:
+        """Fraction of the benchmark simulated in detail."""
+        if benchmark_length == 0:
+            return 0.0
+        return self.detailed_instructions(benchmark_length) / benchmark_length
+
+    # ------------------------------------------------------------------
+    # Unit enumeration
+    # ------------------------------------------------------------------
+    def units(self, benchmark_length: int) -> Iterator[SamplingUnit]:
+        """Yield the sampling units selected by this plan."""
+        population = self.population_size(benchmark_length)
+        for index in range(self.offset, population, self.interval):
+            yield SamplingUnit(
+                index=index, start=index * self.unit_size, size=self.unit_size)
+
+    @classmethod
+    def for_sample_size(
+        cls,
+        benchmark_length: int,
+        unit_size: int,
+        target_sample_size: int,
+        offset: int = 0,
+        detailed_warming: int = 0,
+        functional_warming: bool = True,
+    ) -> "SystematicSamplingPlan":
+        """Build a plan achieving approximately ``target_sample_size`` units.
+
+        Mirrors the paper's procedure of choosing ``k = N / n_init``
+        (Section 5.1).  The interval is floored (never below 1) so the
+        realized sample size is at least the target whenever the
+        population allows it.
+        """
+        population = benchmark_length // unit_size
+        if population <= 0:
+            raise ValueError("benchmark shorter than one sampling unit")
+        target = max(1, min(target_sample_size, population))
+        interval = max(1, population // target)
+        return cls(
+            unit_size=unit_size,
+            interval=interval,
+            offset=min(offset, interval - 1),
+            detailed_warming=detailed_warming,
+            functional_warming=functional_warming,
+        )
+
+
+@dataclass(frozen=True)
+class RandomSamplingPlan:
+    """Simple random sampling of ``sample_size`` units (for comparison)."""
+
+    unit_size: int
+    sample_size: int
+    seed: int = 0
+    detailed_warming: int = 0
+    functional_warming: bool = True
+
+    def __post_init__(self) -> None:
+        if self.unit_size <= 0:
+            raise ValueError("unit_size must be positive")
+        if self.sample_size <= 0:
+            raise ValueError("sample_size must be positive")
+
+    def population_size(self, benchmark_length: int) -> int:
+        return benchmark_length // self.unit_size
+
+    def units(self, benchmark_length: int) -> Iterator[SamplingUnit]:
+        """Yield the selected units in ascending order.
+
+        Selection without replacement; if the population is smaller than
+        the requested sample every unit is selected.
+        """
+        population = self.population_size(benchmark_length)
+        count = min(self.sample_size, population)
+        rng = random.Random(self.seed)
+        chosen = sorted(rng.sample(range(population), count))
+        for index in chosen:
+            yield SamplingUnit(
+                index=index, start=index * self.unit_size, size=self.unit_size)
+
+    def detailed_instructions(self, benchmark_length: int) -> int:
+        count = min(self.sample_size, self.population_size(benchmark_length))
+        return count * (self.unit_size + self.detailed_warming)
+
+
+def offsets_for_bias_estimation(interval: int, phases: int = 5) -> list[int]:
+    """Evenly distributed systematic-sample offsets j.
+
+    The paper approximates the exact bias (an average over all k phases)
+    with 5 evenly distributed phases: ``j = {0, k/5, 2k/5, 3k/5, 4k/5}``
+    (Section 4.3).
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    phases = max(1, min(phases, interval))
+    return [math.floor(i * interval / phases) for i in range(phases)]

@@ -1,0 +1,151 @@
+"""The SMARTS sampling simulation engine (Section 3 of the paper).
+
+The engine orchestrates one sampling simulation run: it alternates
+between fast-forwarding (functional simulation, optionally with
+functional warming) and detailed simulation (W instructions of detailed
+warming followed by a measured sampling unit of U instructions), exactly
+as Figure 1 of the paper illustrates:
+
+    |---- functional simulation of U(k-1) - W instructions ----|
+    |-- detailed warming, W instructions (not measured) --|
+    |-- detailed simulation + measurement of U instructions --|
+    ... repeated for the n sampling units of the systematic sample ...
+
+The engine is metric-agnostic at measurement time: every unit's cycle
+count and energy are recorded, and CPI / EPI estimates (with their
+coefficients of variation and confidence intervals) are derived by
+:class:`~repro.core.estimates.SmartsRunResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.config.machines import MachineConfig
+from repro.core.estimates import SmartsRunResult, UnitRecord
+from repro.core.sampling import SystematicSamplingPlan
+from repro.detailed.pipeline import DetailedSimulator
+from repro.detailed.state import MicroarchState
+from repro.energy.wattch import EnergyModel
+from repro.functional.simulator import FunctionalCore
+from repro.functional.warming import FunctionalWarmer
+from repro.isa.program import Program
+
+
+@dataclass
+class SmartsEngine:
+    """Runs SMARTS sampling simulations on one machine configuration."""
+
+    machine: MachineConfig
+    measure_energy: bool = True
+
+    def run(
+        self,
+        program: Program,
+        plan: SystematicSamplingPlan,
+        benchmark_length: int,
+        cold_start: bool = True,
+    ) -> SmartsRunResult:
+        """Execute one SMARTS sampling run.
+
+        Args:
+            program: The benchmark program.
+            plan: Systematic sampling parameters (U, k, j, W, warming).
+            benchmark_length: Dynamic instruction count of the benchmark
+                (the population is ``benchmark_length // U`` units).
+            cold_start: When True (default) the run begins with cold
+                microarchitectural state, as a fresh simulator invocation
+                would.
+
+        Returns:
+            A :class:`SmartsRunResult` with per-unit measurements and
+            bookkeeping of how much work each simulation mode performed.
+        """
+        core = FunctionalCore(program)
+        microarch = MicroarchState(self.machine)
+        if cold_start:
+            microarch.flush()
+        detailed = DetailedSimulator(self.machine, microarch)
+        warmer = FunctionalWarmer(microarch) if plan.functional_warming else None
+        energy_model = EnergyModel(self.machine) if self.measure_energy else None
+
+        result = SmartsRunResult(
+            benchmark=program.name,
+            machine=self.machine.name,
+            unit_size=plan.unit_size,
+            interval=plan.interval,
+            offset=plan.offset,
+            detailed_warming=plan.detailed_warming,
+            functional_warming=plan.functional_warming,
+            benchmark_length=benchmark_length,
+        )
+
+        warming = plan.detailed_warming
+        pipeline_stale = True
+        for unit in plan.units(benchmark_length):
+            position = core.instructions_retired
+            if position >= benchmark_length or core.halted:
+                break
+
+            # Fast-forward up to the start of the detailed-warming window.
+            warm_start = max(unit.start - warming, position)
+            fast_forward = warm_start - position
+            if fast_forward > 0:
+                t0 = time.perf_counter()
+                executed = core.run(fast_forward, warmer)
+                result.seconds_fastforward += time.perf_counter() - t0
+                result.instructions_fastforwarded += executed
+                pipeline_stale = True
+                if executed < fast_forward:
+                    break  # program ended during fast-forward
+
+            # Detailed warming (measurements discarded).  The pipeline's
+            # short-history state is only reset when functional
+            # fast-forwarding actually skipped instructions; back-to-back
+            # units (k == 1, the full-detailed degenerate case) keep the
+            # pipeline primed, as a real continuous detailed run would.
+            if pipeline_stale:
+                detailed.begin_period()
+                pipeline_stale = False
+            warm_count = unit.start - core.instructions_retired
+            if warm_count > 0:
+                t0 = time.perf_counter()
+                warm_counters = detailed.run(core, warm_count)
+                result.seconds_detailed += time.perf_counter() - t0
+                result.instructions_detailed_warming += warm_counters.instructions
+                if warm_counters.instructions < warm_count:
+                    break
+
+            # Measured sampling unit.
+            t0 = time.perf_counter()
+            counters = detailed.run(core, unit.size)
+            result.seconds_detailed += time.perf_counter() - t0
+            if counters.instructions == 0:
+                break
+            result.instructions_measured += counters.instructions
+            energy = energy_model.total_energy(counters) if energy_model else 0.0
+            result.units.append(
+                UnitRecord(
+                    index=unit.index,
+                    instructions=counters.instructions,
+                    cycles=counters.cycles,
+                    energy=energy,
+                )
+            )
+            if core.halted:
+                break
+
+        return result
+
+
+def run_smarts(
+    program: Program,
+    machine: MachineConfig,
+    plan: SystematicSamplingPlan,
+    benchmark_length: int,
+    measure_energy: bool = True,
+) -> SmartsRunResult:
+    """Convenience wrapper: run one SMARTS sampling simulation."""
+    engine = SmartsEngine(machine=machine, measure_energy=measure_energy)
+    return engine.run(program, plan, benchmark_length)

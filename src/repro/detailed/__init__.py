@@ -1,0 +1,12 @@
+"""Detailed out-of-order timing simulation substrate."""
+
+from repro.detailed.counters import PipelineCounters
+from repro.detailed.pipeline import DECODE_STAGES, DetailedSimulator
+from repro.detailed.state import MicroarchState
+
+__all__ = [
+    "DECODE_STAGES",
+    "DetailedSimulator",
+    "MicroarchState",
+    "PipelineCounters",
+]

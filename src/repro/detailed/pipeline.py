@@ -1,0 +1,366 @@
+"""Detailed out-of-order superscalar timing model.
+
+This is the repository's stand-in for SimpleScalar's ``sim-outorder``
+(enhanced, per Section 3.2 of the paper, with a store buffer, MSHRs and
+memory-interconnect bottlenecks).  It is an execution-driven,
+timestamp-based out-of-order model: instructions are consumed in program
+order from the functional core and each one is scheduled against
+
+* fetch bandwidth, I-cache/I-TLB misses and branch-redirect stalls,
+* RUU (register update unit) and LSQ occupancy,
+* operand readiness through a register timestamp scoreboard,
+* functional-unit availability and latency,
+* D-cache/D-TLB misses through a finite MSHR file,
+* store-buffer capacity at commit, and
+* commit bandwidth.
+
+Compared to a cycle-by-cycle structural simulator the model processes
+each instruction exactly once, which keeps pure-Python simulation rates
+high enough for SMARTS-scale experiments while still producing the
+behaviour the paper studies: CPI that varies with cache and predictor
+state, short-term pipeline state that needs detailed warming, and
+long-history state that needs functional warming.  Wrong-path fetch is
+modeled as a redirect penalty rather than by executing wrong-path
+instructions; the paper (Section 4.5, citing Cain et al.) reports that
+speculative wrong-path effects have minimal impact on CPI.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.config.machines import MachineConfig
+from repro.detailed.counters import PipelineCounters
+from repro.detailed.state import MicroarchState
+from repro.functional.simulator import INST_SIZE, FunctionalCore
+from repro.isa.instruction import NUM_FP_REGS, NUM_INT_REGS
+from repro.isa.opcodes import OpClass, Opcode
+from repro.memory.hierarchy import L1, MEM
+from repro.memory.mshr import MSHRFile
+from repro.memory.store_buffer import StoreBuffer
+
+#: Pipeline front-end depth between fetch and dispatch (decode/rename).
+DECODE_STAGES = 2
+
+#: Scheduling classes that execute on the memory ports.
+_MEM_CLASSES = (OpClass.LOAD, OpClass.STORE)
+
+#: Opcodes that occupy their functional unit for the full execution
+#: latency (unpipelined divide/sqrt units).
+_UNPIPELINED = frozenset({Opcode.DIV, Opcode.MOD, Opcode.FDIV, Opcode.FSQRT})
+
+
+class DetailedSimulator:
+    """Timestamp-based out-of-order timing model.
+
+    One instance is created per SMARTS run (or per reference simulation)
+    and shares its :class:`MicroarchState` with functional warming.
+
+    Typical use::
+
+        sim = DetailedSimulator(config, microarch)
+        sim.begin_period()                      # cold pipeline
+        sim.run(core, W)                        # detailed warming
+        counters = sim.run(core, U)             # measured sampling unit
+    """
+
+    def __init__(self, config: MachineConfig, microarch: MicroarchState) -> None:
+        self.config = config
+        self.microarch = microarch
+        self._num_regs = NUM_INT_REGS + NUM_FP_REGS
+        self.begin_period()
+
+    # ------------------------------------------------------------------
+    # Period management
+    # ------------------------------------------------------------------
+    def begin_period(self) -> None:
+        """Reset all short-history pipeline state (empty pipeline).
+
+        Called when detailed simulation resumes after a stretch of
+        functional simulation.  Long-history state (caches, TLBs, branch
+        predictors) is *not* touched — its freshness is governed by the
+        warming policy of the surrounding SMARTS run.
+        """
+        config = self.config
+        self._clock = 0
+        self._next_fetch_cycle = 0
+        self._redirect_cycle = 0
+        self._fetch_bw_cycle = -1
+        self._fetch_bw_count = 0
+        self._last_fetch_block = -1
+        self._reg_ready = [0] * self._num_regs
+        self._window: deque[int] = deque()
+        self._lsq: deque[int] = deque()
+        self._last_commit_cycle = 0
+        self._commits_in_cycle = 0
+        self._fu_free = {
+            OpClass.IALU: [0] * config.fu_counts[OpClass.IALU],
+            OpClass.IMULT: [0] * config.fu_counts[OpClass.IMULT],
+            OpClass.FPALU: [0] * config.fu_counts[OpClass.FPALU],
+            OpClass.FPMULT: [0] * config.fu_counts[OpClass.FPMULT],
+            OpClass.LOAD: [0] * config.l1d.ports,
+        }
+        self._mshr_i = MSHRFile(config.l1i.mshr_entries)
+        self._mshr_d = MSHRFile(config.l1d.mshr_entries)
+        self._store_buffer = StoreBuffer(config.store_buffer_entries)
+        self._pending_stores: dict[int, int] = {}
+
+    @property
+    def current_cycle(self) -> int:
+        """Commit-time clock of the current detailed period."""
+        return self._last_commit_cycle
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, core: FunctionalCore, count: int) -> PipelineCounters:
+        """Simulate up to ``count`` instructions in detail.
+
+        Returns the counters (including elapsed cycles) for exactly the
+        instructions processed by this call.  The pipeline clock carries
+        over across consecutive ``run`` calls within one period, so a
+        warming call followed by a measurement call behaves like one
+        continuous stretch of detailed simulation.
+        """
+        config = self.config
+        hierarchy = self.microarch.hierarchy
+        branch_unit = self.microarch.branch_unit
+        counters = PipelineCounters()
+        cycles_start = self._last_commit_cycle
+
+        fetch_width = config.fetch_width
+        commit_width = config.commit_width
+        ruu_size = config.ruu_size
+        lsq_size = config.lsq_size
+        l1i_block = config.l1i.block_bytes
+        l1_latency = config.l1_latency
+        tlb_penalty = config.tlb_miss_latency
+        mispredict_penalty = config.branch.mispredict_penalty
+        single_prediction = config.branch.predictions_per_cycle < 2
+
+        reg_ready = self._reg_ready
+        window = self._window
+        lsq = self._lsq
+        fu_free = self._fu_free
+        pending_stores = self._pending_stores
+
+        executed = 0
+        step = core.step
+        while executed < count:
+            dyn = step()
+            if dyn is None:
+                break
+            executed += 1
+            opclass = dyn.opclass
+            op = dyn.op
+
+            # ----------------------------------------------------------
+            # Fetch
+            # ----------------------------------------------------------
+            fetch_cycle = self._next_fetch_cycle
+            if self._redirect_cycle > fetch_cycle:
+                fetch_cycle = self._redirect_cycle
+
+            if fetch_cycle == self._fetch_bw_cycle:
+                if self._fetch_bw_count >= fetch_width:
+                    fetch_cycle += 1
+                    self._fetch_bw_cycle = fetch_cycle
+                    self._fetch_bw_count = 0
+            else:
+                self._fetch_bw_cycle = fetch_cycle
+                self._fetch_bw_count = 0
+            self._fetch_bw_count += 1
+
+            fetch_addr = dyn.pc * INST_SIZE
+            fetch_block = fetch_addr // l1i_block
+            if fetch_block != self._last_fetch_block:
+                self._last_fetch_block = fetch_block
+                result = hierarchy.access_instruction(fetch_addr)
+                counters.fetch_accesses += 1
+                if result.tlb_miss:
+                    counters.itlb_misses += 1
+                    fetch_cycle += tlb_penalty
+                if result.level != L1:
+                    counters.l1i_misses += 1
+                    miss_latency = (config.l2_latency if result.level == "l2"
+                                    else config.mem_latency)
+                    ready, stall = self._mshr_i.request(
+                        fetch_block, fetch_cycle, miss_latency)
+                    if stall:
+                        counters.mshr_stalls += 1
+                    fetch_cycle = ready
+            self._next_fetch_cycle = fetch_cycle
+
+            # ----------------------------------------------------------
+            # Dispatch (decode/rename into RUU and LSQ)
+            # ----------------------------------------------------------
+            dispatch_cycle = fetch_cycle + DECODE_STAGES
+            if len(window) >= ruu_size:
+                free_at = window.popleft()
+                if free_at > dispatch_cycle:
+                    counters.ruu_stall_cycles += free_at - dispatch_cycle
+                    dispatch_cycle = free_at
+            is_mem = dyn.is_load or dyn.is_store
+            if is_mem and len(lsq) >= lsq_size:
+                free_at = lsq.popleft()
+                if free_at > dispatch_cycle:
+                    counters.lsq_stall_cycles += free_at - dispatch_cycle
+                    dispatch_cycle = free_at
+            counters.window_inserts += 1
+
+            # ----------------------------------------------------------
+            # Operand readiness
+            # ----------------------------------------------------------
+            ready_cycle = dispatch_cycle
+            for src in dyn.srcs:
+                src_ready = reg_ready[src]
+                if src_ready > ready_cycle:
+                    ready_cycle = src_ready
+            counters.regfile_reads += len(dyn.srcs)
+
+            # ----------------------------------------------------------
+            # Issue and execute
+            # ----------------------------------------------------------
+            if opclass in _MEM_CLASSES:
+                pool = fu_free[OpClass.LOAD]
+            elif opclass in (OpClass.BRANCH, OpClass.NOP):
+                pool = fu_free[OpClass.IALU]
+            else:
+                pool = fu_free[opclass]
+            unit = 0
+            unit_free = pool[0]
+            for i in range(1, len(pool)):
+                if pool[i] < unit_free:
+                    unit_free = pool[i]
+                    unit = i
+            issue_cycle = ready_cycle if ready_cycle >= unit_free else unit_free
+
+            store_drain_latency = l1_latency
+            if dyn.is_load:
+                counters.loads += 1
+                counters.l1d_accesses += 1
+                result = hierarchy.access_data(dyn.mem_addr, False)
+                if result.tlb_miss:
+                    counters.dtlb_misses += 1
+                if result.level != L1:
+                    counters.l1d_misses += 1
+                    counters.l2_accesses += 1
+                    if result.level == MEM:
+                        counters.l2_misses += 1
+                forward_ready = pending_stores.get(dyn.mem_addr)
+                if forward_ready is not None and forward_ready > issue_cycle:
+                    counters.store_forwards += 1
+                    memory_latency = l1_latency
+                    if result.tlb_miss:
+                        memory_latency += tlb_penalty
+                    complete_cycle = issue_cycle + memory_latency
+                else:
+                    if result.level == L1:
+                        memory_latency = l1_latency
+                        if result.tlb_miss:
+                            memory_latency += tlb_penalty
+                        complete_cycle = issue_cycle + memory_latency
+                    else:
+                        latency = hierarchy.latency(result)
+                        block = dyn.mem_addr // config.l1d.block_bytes
+                        ready, stall = self._mshr_d.request(
+                            block, issue_cycle, latency)
+                        if stall:
+                            counters.mshr_stalls += 1
+                        complete_cycle = ready
+            elif dyn.is_store:
+                counters.stores += 1
+                counters.l1d_accesses += 1
+                result = hierarchy.access_data(dyn.mem_addr, True)
+                if result.tlb_miss:
+                    counters.dtlb_misses += 1
+                if result.level != L1:
+                    counters.l1d_misses += 1
+                    counters.l2_accesses += 1
+                    if result.level == MEM:
+                        counters.l2_misses += 1
+                store_drain_latency = hierarchy.latency(result)
+                complete_cycle = issue_cycle + 1
+            else:
+                latency = config.exec_latency(op, opclass)
+                complete_cycle = issue_cycle + latency
+                if opclass == OpClass.IALU:
+                    counters.ialu_ops += 1
+                elif opclass == OpClass.IMULT:
+                    counters.imult_ops += 1
+                elif opclass == OpClass.FPALU:
+                    counters.fpalu_ops += 1
+                elif opclass == OpClass.FPMULT:
+                    counters.fpmult_ops += 1
+
+            # Functional unit occupancy: pipelined units free the issue
+            # slot next cycle; divides occupy the unit until completion.
+            pool[unit] = complete_cycle if op in _UNPIPELINED else issue_cycle + 1
+
+            if dyn.rd is not None:
+                reg_ready[dyn.rd] = complete_cycle
+                counters.regfile_writes += 1
+
+            # ----------------------------------------------------------
+            # Branch resolution
+            # ----------------------------------------------------------
+            if dyn.is_branch:
+                counters.branches += 1
+                outcome = branch_unit.resolve(dyn)
+                if outcome.mispredicted:
+                    counters.mispredictions += 1
+                    redirect = complete_cycle + mispredict_penalty
+                    if redirect > self._redirect_cycle:
+                        self._redirect_cycle = redirect
+                elif dyn.taken and single_prediction:
+                    # A correctly predicted taken branch ends the fetch
+                    # group; the target is fetched the following cycle.
+                    redirect = fetch_cycle + 1
+                    if redirect > self._redirect_cycle:
+                        self._redirect_cycle = redirect
+
+            # ----------------------------------------------------------
+            # Commit (in order, bounded by commit width)
+            # ----------------------------------------------------------
+            commit_cycle = complete_cycle + 1
+            if commit_cycle <= self._last_commit_cycle:
+                commit_cycle = self._last_commit_cycle
+                if self._commits_in_cycle >= commit_width:
+                    commit_cycle += 1
+                    self._commits_in_cycle = 1
+                else:
+                    self._commits_in_cycle += 1
+            else:
+                self._commits_in_cycle = 1
+
+            if dyn.is_store:
+                completion, stall = self._store_buffer.push(
+                    commit_cycle, store_drain_latency)
+                if stall:
+                    counters.store_buffer_stalls += 1
+                    commit_cycle += stall
+                    self._commits_in_cycle = 1
+                pending_stores[dyn.mem_addr] = completion
+                if len(pending_stores) > 2048:
+                    horizon = commit_cycle
+                    stale = [a for a, t in pending_stores.items() if t <= horizon]
+                    for addr in stale:
+                        del pending_stores[addr]
+
+            self._last_commit_cycle = commit_cycle
+            window.append(commit_cycle)
+            if is_mem:
+                lsq.append(commit_cycle)
+            counters.instructions += 1
+
+        counters.cycles = self._last_commit_cycle - cycles_start
+        return counters
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def simulate(self, core: FunctionalCore, count: int | None = None) -> PipelineCounters:
+        """Simulate ``count`` instructions (or to completion) in one period."""
+        self.begin_period()
+        budget = count if count is not None else 1 << 62
+        return self.run(core, budget)

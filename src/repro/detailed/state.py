@@ -1,0 +1,42 @@
+"""Long-history microarchitectural state shared across simulation modes.
+
+The SMARTS engine constructs one :class:`MicroarchState` per run and
+hands it to both the functional warmer and the detailed simulator.  This
+is the state whose staleness causes measurement bias (Section 3.1) and
+whose continuous maintenance is functional warming (Section 4.1): the
+cache hierarchy, the TLBs, and the branch prediction structures.
+
+Short-history state — pipeline occupancy, MSHRs, the store buffer,
+functional unit availability — lives inside the detailed simulator and
+is re-created at the start of every detailed period; warming it is
+exactly the job of the W detailed-warming instructions.
+"""
+
+from __future__ import annotations
+
+from repro.branch.unit import BranchUnit
+from repro.config.machines import MachineConfig
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class MicroarchState:
+    """Cache hierarchy + branch unit for one simulated machine."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.hierarchy = MemoryHierarchy(config)
+        self.branch_unit = BranchUnit(config.branch)
+
+    def flush(self) -> None:
+        """Return all long-history state to its cold (power-on) contents."""
+        self.hierarchy.flush()
+        self.branch_unit.reset()
+
+    def reset_stats(self) -> None:
+        self.hierarchy.reset_stats()
+        self.branch_unit.reset_stats()
+
+    def stats_summary(self) -> dict[str, float]:
+        summary = self.hierarchy.stats_summary()
+        summary["branch_misprediction_rate"] = self.branch_unit.misprediction_rate
+        return summary

@@ -1,0 +1,5 @@
+"""Wattch-style energy modeling (energy per instruction)."""
+
+from repro.energy.wattch import EnergyModel, EnergyParameters
+
+__all__ = ["EnergyModel", "EnergyParameters"]

@@ -1,0 +1,12 @@
+"""Functional simulation: fast-forwarding and functional warming."""
+
+from repro.functional.simulator import INST_SIZE, FunctionalCore, measure_program_length
+from repro.functional.warming import WARMING_OVERHEAD, FunctionalWarmer
+
+__all__ = [
+    "FunctionalCore",
+    "FunctionalWarmer",
+    "INST_SIZE",
+    "WARMING_OVERHEAD",
+    "measure_program_length",
+]

@@ -1,0 +1,272 @@
+"""Functional (architectural-state-only) simulator.
+
+The functional core is the execution oracle of the whole infrastructure:
+both fast-forwarding and detailed simulation consume the dynamic
+instruction stream it produces.  This mirrors SimpleScalar's
+execution-driven structure, where ``sim-outorder`` executes instructions
+functionally and models timing around the resulting stream, and it makes
+mode switches (functional <-> detailed) trivially consistent because
+there is exactly one architectural state.
+
+Performance notes: the decode table is precomputed per static
+instruction and ``step`` is written as one flat function because SMARTS
+experiments execute 10^6-10^8 dynamic instructions through this loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.program import WORD_SIZE, Program
+from repro.isa.registers import ArchState
+
+#: Bytes per static instruction, used to form instruction-fetch addresses
+#: for the I-cache and I-TLB models.
+INST_SIZE = 4
+
+
+class FunctionalCore:
+    """Executes a program one instruction at a time.
+
+    Usage::
+
+        core = FunctionalCore(program)
+        while (dyn := core.step()) is not None:
+            ...
+
+    ``step`` returns ``None`` once the program has executed its ``HALT``
+    instruction (or run off the end of the instruction sequence, which is
+    treated as an implicit halt).
+    """
+
+    def __init__(self, program: Program, max_instructions: int | None = None) -> None:
+        self.program = program
+        self.state = ArchState()
+        self.state.reset(program)
+        self.instructions_retired = 0
+        self.max_instructions = max_instructions
+        self._decoded = [self._decode(inst) for inst in program.instructions]
+
+    @staticmethod
+    def _decode(inst) -> tuple:
+        """Precompute the per-static-instruction decode record."""
+        return (
+            inst.op,
+            inst.opclass,
+            inst.rd,
+            inst.source_regs(),
+            inst.rs1,
+            inst.rs2,
+            inst.imm,
+            inst.target,
+            inst.is_load,
+            inst.is_store,
+            inst.is_branch,
+            inst.is_conditional,
+        )
+
+    @property
+    def halted(self) -> bool:
+        if self.state.halted:
+            return True
+        if self.max_instructions is not None:
+            return self.instructions_retired >= self.max_instructions
+        return False
+
+    def fetch_address(self, pc: int) -> int:
+        """Byte address of the instruction at static index ``pc``."""
+        return pc * INST_SIZE
+
+    def step(self) -> DynInst | None:
+        """Execute one instruction and return its dynamic record."""
+        state = self.state
+        if self.halted:
+            return None
+        pc = state.pc
+        if pc < 0 or pc >= len(self._decoded):
+            state.halted = True
+            return None
+
+        (op, opclass, rd, srcs, rs1, rs2, imm, target,
+         is_load, is_store, is_branch, is_conditional) = self._decoded[pc]
+
+        int_regs = state.int_regs
+        fp_regs = state.fp_regs
+        read = state.read_reg
+        mem_addr: int | None = None
+        taken = False
+        next_pc = pc + 1
+
+        if opclass == OpClass.IALU:
+            a = read(rs1) if rs1 is not None else 0
+            if op == Opcode.ADDI:
+                value = int(a) + imm
+            elif op == Opcode.SLTI:
+                value = 1 if int(a) < imm else 0
+            else:
+                b = read(rs2) if rs2 is not None else 0
+                a = int(a)
+                b = int(b)
+                if op == Opcode.ADD:
+                    value = a + b
+                elif op == Opcode.SUB:
+                    value = a - b
+                elif op == Opcode.AND:
+                    value = a & b
+                elif op == Opcode.OR:
+                    value = a | b
+                elif op == Opcode.XOR:
+                    value = a ^ b
+                elif op == Opcode.SLL:
+                    value = a << (b & 63)
+                elif op == Opcode.SRL:
+                    value = a >> (b & 63)
+                elif op == Opcode.SLT:
+                    value = 1 if a < b else 0
+                else:  # pragma: no cover - defensive
+                    raise ValueError(f"unhandled IALU opcode {op!r}")
+            state.write_reg(rd, value)
+
+        elif opclass == OpClass.IMULT:
+            a = int(read(rs1))
+            b = int(read(rs2))
+            if op == Opcode.MUL:
+                value = a * b
+            elif op == Opcode.DIV:
+                value = a // b if b != 0 else 0
+            else:  # MOD
+                value = a % b if b != 0 else 0
+            state.write_reg(rd, value)
+
+        elif opclass in (OpClass.FPALU, OpClass.FPMULT):
+            a = float(read(rs1)) if rs1 is not None else 0.0
+            if op == Opcode.FADD:
+                value = a + float(read(rs2))
+            elif op == Opcode.FSUB:
+                value = a - float(read(rs2))
+            elif op == Opcode.FMUL:
+                value = a * float(read(rs2))
+            elif op == Opcode.FDIV:
+                b = float(read(rs2))
+                value = a / b if b != 0.0 else 0.0
+            elif op == Opcode.FSQRT:
+                value = abs(a) ** 0.5
+            elif op == Opcode.FNEG:
+                value = -a
+            elif op == Opcode.CVTIF:
+                value = float(int(a))
+            elif op == Opcode.CVTFI:
+                value = int(a)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unhandled FP opcode {op!r}")
+            state.write_reg(rd, value)
+
+        elif is_load:
+            base = int(read(rs1))
+            mem_addr = ArchState.align(base + imm)
+            state.write_reg(rd, state.memory.get(mem_addr, 0))
+
+        elif is_store:
+            base = int(read(rs1))
+            mem_addr = ArchState.align(base + imm)
+            state.memory[mem_addr] = read(rs2)
+
+        elif is_branch:
+            if is_conditional:
+                a = int(read(rs1))
+                b = int(read(rs2))
+                if op == Opcode.BEQ:
+                    taken = a == b
+                elif op == Opcode.BNE:
+                    taken = a != b
+                elif op == Opcode.BLT:
+                    taken = a < b
+                else:  # BGE
+                    taken = a >= b
+                if taken:
+                    next_pc = target
+            elif op == Opcode.JUMP:
+                taken = True
+                next_pc = target
+            elif op == Opcode.JAL:
+                taken = True
+                state.write_reg(rd, pc + 1)
+                next_pc = target
+            else:  # JR
+                taken = True
+                next_pc = int(read(rs1))
+
+        elif op == Opcode.HALT:
+            state.halted = True
+        # NOP: nothing to do.
+
+        state.pc = next_pc
+        seq = self.instructions_retired
+        self.instructions_retired = seq + 1
+
+        return DynInst(
+            seq=seq,
+            pc=pc,
+            op=op,
+            opclass=opclass,
+            rd=rd,
+            srcs=srcs,
+            mem_addr=mem_addr,
+            is_load=is_load,
+            is_store=is_store,
+            is_branch=is_branch,
+            is_conditional=is_conditional,
+            taken=taken,
+            next_pc=next_pc,
+        )
+
+    def run(self, count: int, callback: Callable[[DynInst], None] | None = None) -> int:
+        """Execute up to ``count`` instructions.
+
+        Returns the number actually executed (may be fewer if the program
+        halts).  ``callback`` is invoked per dynamic instruction when
+        provided; it is how functional warming hooks into fast-forwarding.
+        """
+        executed = 0
+        step = self.step
+        if callback is None:
+            while executed < count:
+                if step() is None:
+                    break
+                executed += 1
+        else:
+            while executed < count:
+                dyn = step()
+                if dyn is None:
+                    break
+                callback(dyn)
+                executed += 1
+        return executed
+
+    def run_to_completion(self, limit: int | None = None) -> int:
+        """Execute until the program halts (or ``limit`` instructions)."""
+        executed = 0
+        step = self.step
+        while limit is None or executed < limit:
+            if step() is None:
+                break
+            executed += 1
+        return executed
+
+
+def measure_program_length(program: Program, limit: int = 200_000_000) -> int:
+    """Return the dynamic instruction count of ``program``.
+
+    Used to establish the population size ``N`` before designing a
+    sampling run (the paper takes the benchmark length as known from its
+    full functional simulation).
+    """
+    core = FunctionalCore(program)
+    executed = core.run_to_completion(limit=limit)
+    if not core.state.halted and executed >= limit:
+        raise RuntimeError(
+            f"program {program.name!r} did not halt within {limit} instructions"
+        )
+    return executed

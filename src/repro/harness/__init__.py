@@ -1,0 +1,75 @@
+"""Experiment harness: reference runs, analyses, and per-figure experiments."""
+
+from repro.harness.bias import (
+    BiasMeasurement,
+    measure_bias,
+    required_detailed_warming,
+)
+from repro.harness.cv_analysis import (
+    FIGURE3_TARGETS,
+    ConfidenceTarget,
+    cv_versus_unit_size,
+    default_unit_sizes,
+    minimum_measured_instructions,
+    population_homogeneity,
+    true_mean,
+)
+from repro.harness.experiments import (
+    ExperimentContext,
+    default_context,
+    figure2_cv_curves,
+    figure3_minimum_instructions,
+    figure4_speed_model,
+    figure5_optimal_unit_size,
+    figure6_cpi_estimates,
+    figure7_epi_estimates,
+    figure8_simpoint_comparison,
+    table3_configurations,
+    table4_detailed_warming,
+    table5_functional_warming_bias,
+    table6_runtimes,
+)
+from repro.harness.reference import (
+    DEFAULT_CHUNK_SIZE,
+    run_reference,
+    unit_cpi_trace,
+    unit_epi_trace,
+)
+from repro.harness.reporting import format_table, percent, print_report, unsigned_percent
+from repro.harness.runtime import MeasuredRates, measure_rates
+
+__all__ = [
+    "BiasMeasurement",
+    "ConfidenceTarget",
+    "DEFAULT_CHUNK_SIZE",
+    "ExperimentContext",
+    "FIGURE3_TARGETS",
+    "MeasuredRates",
+    "cv_versus_unit_size",
+    "default_context",
+    "default_unit_sizes",
+    "figure2_cv_curves",
+    "figure3_minimum_instructions",
+    "figure4_speed_model",
+    "figure5_optimal_unit_size",
+    "figure6_cpi_estimates",
+    "figure7_epi_estimates",
+    "figure8_simpoint_comparison",
+    "format_table",
+    "measure_bias",
+    "measure_rates",
+    "minimum_measured_instructions",
+    "percent",
+    "population_homogeneity",
+    "print_report",
+    "required_detailed_warming",
+    "run_reference",
+    "table3_configurations",
+    "table4_detailed_warming",
+    "table5_functional_warming_bias",
+    "table6_runtimes",
+    "true_mean",
+    "unit_cpi_trace",
+    "unit_epi_trace",
+    "unsigned_percent",
+]

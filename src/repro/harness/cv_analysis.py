@@ -1,0 +1,129 @@
+"""Coefficient-of-variation analysis over the reference traces.
+
+Drives Figure 2 (V_CPI as a function of the sampling unit size U),
+Figure 3 (minimum measured instructions n·U needed for the common
+confidence targets), and supplies the CV-versus-U curves the optimal-U
+analysis of Figure 5 consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.estimates import ReferenceResult
+from repro.core.stats import required_sample_size
+from repro.harness.reference import unit_cpi_trace, unit_epi_trace
+
+
+@dataclass(frozen=True)
+class ConfidenceTarget:
+    """One (interval, level) confidence requirement."""
+
+    epsilon: float
+    confidence: float
+
+    @property
+    def label(self) -> str:
+        return f"±{self.epsilon:.0%} @ {self.confidence:.1%}"
+
+
+#: The confidence targets Figure 3 tabulates.
+FIGURE3_TARGETS = (
+    ConfidenceTarget(0.03, 0.95),
+    ConfidenceTarget(0.03, 0.997),
+    ConfidenceTarget(0.01, 0.95),
+    ConfidenceTarget(0.01, 0.997),
+)
+
+
+def default_unit_sizes(reference: ReferenceResult,
+                       max_points: int = 12) -> list[int]:
+    """Geometric sweep of unit sizes supported by a reference trace.
+
+    Starts at the trace's chunk size and grows by powers of two (times
+    the chunk size) while at least ~8 whole units remain, mirroring the
+    log-scale U axis of Figure 2.
+    """
+    sizes = []
+    unit = reference.chunk_size
+    while reference.instructions // unit >= 8 and len(sizes) < max_points:
+        sizes.append(unit)
+        unit *= 2
+    if not sizes:
+        sizes = [reference.chunk_size]
+    return sizes
+
+
+def cv_versus_unit_size(reference: ReferenceResult,
+                        unit_sizes: list[int] | None = None,
+                        metric: str = "cpi") -> dict[int, float]:
+    """Coefficient of variation of per-unit CPI (or EPI) for each U."""
+    if unit_sizes is None:
+        unit_sizes = default_unit_sizes(reference)
+    trace_fn = unit_cpi_trace if metric == "cpi" else unit_epi_trace
+    curve: dict[int, float] = {}
+    for unit_size in unit_sizes:
+        values = trace_fn(reference, unit_size)
+        mean = values.mean()
+        if mean == 0 or len(values) < 2:
+            curve[unit_size] = 0.0
+        else:
+            curve[unit_size] = float(values.std(ddof=1) / mean)
+    return curve
+
+
+def minimum_measured_instructions(
+    reference: ReferenceResult,
+    unit_size: int,
+    targets: tuple[ConfidenceTarget, ...] = FIGURE3_TARGETS,
+    metric: str = "cpi",
+    use_fpc: bool = True,
+) -> dict[ConfidenceTarget, dict[str, float]]:
+    """Minimum n·U (and fraction of the benchmark) per confidence target.
+
+    This is Figure 3: using the population CV at the chosen unit size,
+    compute the required sample size for each confidence target and
+    express it as instructions measured and as a percentage of the
+    benchmark's length.
+    """
+    trace_fn = unit_cpi_trace if metric == "cpi" else unit_epi_trace
+    values = trace_fn(reference, unit_size)
+    mean = values.mean()
+    cv = float(values.std(ddof=1) / mean) if mean else 0.0
+    population = len(values)
+    results: dict[ConfidenceTarget, dict[str, float]] = {}
+    for target in targets:
+        n = required_sample_size(
+            cv, target.epsilon, target.confidence,
+            population_size=population if use_fpc else None)
+        measured = n * unit_size
+        results[target] = {
+            "cv": cv,
+            "sample_size": n,
+            "measured_instructions": measured,
+            "fraction_of_benchmark": measured / reference.instructions,
+        }
+    return results
+
+
+def true_mean(reference: ReferenceResult, metric: str = "cpi") -> float:
+    """True full-stream mean CPI or EPI of the reference run."""
+    return reference.cpi if metric == "cpi" else reference.epi
+
+
+def population_homogeneity(reference: ReferenceResult, unit_size: int,
+                           interval: int, metric: str = "cpi",
+                           offset_stride: int = 1) -> float:
+    """Intraclass correlation of the per-unit trace at a sampling interval.
+
+    Used to verify the paper's claim that realistic workloads show
+    negligible homogeneity at the periodicities relevant to sampling, so
+    systematic sampling can be analyzed with random-sampling formulas.
+    """
+    from repro.core.stats import intraclass_correlation
+
+    trace_fn = unit_cpi_trace if metric == "cpi" else unit_epi_trace
+    values = trace_fn(reference, unit_size)
+    return intraclass_correlation(values, interval, offset_stride=offset_stride)

@@ -1,0 +1,63 @@
+"""Plain-text table formatting for experiment output.
+
+The benchmark harness prints every reproduced table and figure as an
+aligned text table so ``pytest benchmarks/ --benchmark-only -s`` output
+can be compared side by side with the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * max(len(title), sum(widths) + 2 * (len(widths) - 1)))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    for row in rendered_rows:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.3f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Format a fraction as a signed percentage string."""
+    return f"{value * 100:+.{digits}f}%"
+
+
+def unsigned_percent(value: float, digits: int = 2) -> str:
+    """Format a fraction as an unsigned percentage string."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def print_report(text: str) -> None:
+    """Print a report block surrounded by blank lines (pytest -s friendly)."""
+    print()
+    print(text)
+    print()

@@ -1,0 +1,86 @@
+"""Measured simulator rates and runtime accounting (Table 6, Figure 4).
+
+The paper characterizes its simulators by three rates: functional
+simulation (S_F, normalized to 1), detailed simulation (S_D, ~1/60 of
+S_F for sim-outorder), and functional warming (S_FW ~0.55 of S_F).  This
+module measures the equivalent rates of this repository's simulators on
+a calibration workload so the analytical performance model can be
+evaluated both with our measured rates and with the paper's.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.config.machines import MachineConfig
+from repro.core.perf_model import SimulatorRates
+from repro.detailed.pipeline import DetailedSimulator
+from repro.detailed.state import MicroarchState
+from repro.functional.simulator import FunctionalCore
+from repro.functional.warming import FunctionalWarmer
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class MeasuredRates:
+    """Raw instruction-per-second rates of each simulation mode."""
+
+    functional_ips: float
+    warming_ips: float
+    detailed_ips: float
+
+    @property
+    def s_detailed(self) -> float:
+        """Detailed rate relative to functional (the paper's S_D)."""
+        return self.detailed_ips / self.functional_ips
+
+    @property
+    def s_warming(self) -> float:
+        """Functional-warming rate relative to functional (S_FW)."""
+        return self.warming_ips / self.functional_ips
+
+    def to_simulator_rates(self) -> SimulatorRates:
+        return SimulatorRates(
+            functional_ips=self.functional_ips,
+            s_detailed=min(1.0, self.s_detailed),
+            s_warming=min(1.0, self.s_warming),
+        )
+
+
+def measure_rates(program: Program, machine: MachineConfig,
+                  instructions: int = 60_000) -> MeasuredRates:
+    """Measure functional / warming / detailed rates on one program.
+
+    Each mode executes ``instructions`` dynamic instructions from the
+    start of the program (restarting the functional core each time so all
+    three measurements cover the same stream).
+    """
+    if instructions <= 0:
+        raise ValueError("instructions must be positive")
+
+    core = FunctionalCore(program)
+    start = time.perf_counter()
+    executed = core.run(instructions)
+    functional_seconds = time.perf_counter() - start
+    if executed == 0:
+        raise ValueError("program executed no instructions")
+
+    core = FunctionalCore(program)
+    warmer = FunctionalWarmer(MicroarchState(machine))
+    start = time.perf_counter()
+    executed_warm = core.run(instructions, warmer)
+    warming_seconds = time.perf_counter() - start
+
+    core = FunctionalCore(program)
+    microarch = MicroarchState(machine)
+    detailed = DetailedSimulator(machine, microarch)
+    start = time.perf_counter()
+    counters = detailed.simulate(core, instructions)
+    detailed_seconds = time.perf_counter() - start
+
+    return MeasuredRates(
+        functional_ips=executed / max(functional_seconds, 1e-9),
+        warming_ips=executed_warm / max(warming_seconds, 1e-9),
+        detailed_ips=counters.instructions / max(detailed_seconds, 1e-9),
+    )

@@ -1,0 +1,46 @@
+"""RISC-like ISA used by the repro simulators.
+
+Public API:
+
+* :class:`~repro.isa.opcodes.Opcode`, :class:`~repro.isa.opcodes.OpClass`
+* :class:`~repro.isa.instruction.Instruction`,
+  :class:`~repro.isa.instruction.DynInst`
+* :class:`~repro.isa.program.Program`
+* :class:`~repro.isa.builder.ProgramBuilder`
+* :class:`~repro.isa.registers.ArchState`
+"""
+
+from repro.isa.builder import ProgramBuilder, resolve_register
+from repro.isa.instruction import (
+    FP_REG_BASE,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    DynInst,
+    Instruction,
+    InstructionMix,
+    fp_reg,
+    int_reg,
+)
+from repro.isa.opcodes import OpClass, Opcode, op_class
+from repro.isa.program import WORD_SIZE, Program, ProgramError
+from repro.isa.registers import ArchState
+
+__all__ = [
+    "ArchState",
+    "DynInst",
+    "FP_REG_BASE",
+    "Instruction",
+    "InstructionMix",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "OpClass",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "ProgramError",
+    "WORD_SIZE",
+    "fp_reg",
+    "int_reg",
+    "op_class",
+    "resolve_register",
+]

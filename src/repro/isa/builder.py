@@ -1,0 +1,270 @@
+"""A small assembler-style DSL for constructing programs.
+
+The workload generators in :mod:`repro.workloads` use this builder to
+emit loop nests, pointer chases and other kernels without manually
+computing branch-target indices.  Register operands are given as
+``"r5"`` / ``"f2"`` strings (or flattened integer identifiers) and branch
+targets as label strings; :meth:`ProgramBuilder.build` resolves labels to
+static instruction indices and returns a finalized
+:class:`~repro.isa.program.Program`.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction, fp_reg, int_reg
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program, ProgramError
+
+RegisterLike = int | str
+
+
+def resolve_register(reg: RegisterLike) -> int:
+    """Resolve ``"r4"`` / ``"f7"`` / flattened int into a flattened id."""
+    if isinstance(reg, int):
+        return reg
+    name = reg.strip().lower()
+    if not name or name[0] not in ("r", "f") or not name[1:].isdigit():
+        raise ValueError(f"bad register name: {reg!r}")
+    index = int(name[1:])
+    if name[0] == "r":
+        return int_reg(index)
+    return fp_reg(index)
+
+
+class ProgramBuilder:
+    """Incrementally build a :class:`Program`.
+
+    Example::
+
+        b = ProgramBuilder("count")
+        b.addi("r1", "r0", 10)
+        b.label("loop")
+        b.addi("r1", "r1", -1)
+        b.bne("r1", "r0", "loop")
+        b.halt()
+        program = b.build()
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._data: dict[int, float] = {}
+        self._entry = 0
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> str:
+        """Attach ``name`` to the next emitted instruction."""
+        if name in self._labels:
+            raise ProgramError(f"duplicate label {name!r} in {self.name!r}")
+        self._labels[name] = len(self._instructions)
+        return name
+
+    def set_entry(self, label: str) -> None:
+        """Set the program entry point to a previously defined label."""
+        self._entry_label = label
+
+    def data_word(self, address: int, value: float) -> None:
+        """Initialize one word of the data segment."""
+        self._data[address] = value
+
+    def data_block(self, base: int, values: list[float], stride: int = 8) -> None:
+        """Initialize a contiguous block of data words starting at ``base``."""
+        for i, value in enumerate(values):
+            self._data[base + i * stride] = value
+
+    @property
+    def next_index(self) -> int:
+        """Index the next emitted instruction will occupy."""
+        return len(self._instructions)
+
+    def emit(self, inst: Instruction) -> int:
+        """Append an already-constructed instruction."""
+        self._instructions.append(inst)
+        return len(self._instructions) - 1
+
+    # ------------------------------------------------------------------
+    # Integer ALU
+    # ------------------------------------------------------------------
+    def _alu(self, op: Opcode, rd: RegisterLike, rs1: RegisterLike,
+             rs2: RegisterLike) -> int:
+        return self.emit(Instruction(
+            op,
+            rd=resolve_register(rd),
+            rs1=resolve_register(rs1),
+            rs2=resolve_register(rs2),
+        ))
+
+    def _alu_imm(self, op: Opcode, rd: RegisterLike, rs1: RegisterLike,
+                 imm: int) -> int:
+        return self.emit(Instruction(
+            op,
+            rd=resolve_register(rd),
+            rs1=resolve_register(rs1),
+            imm=imm,
+        ))
+
+    def add(self, rd, rs1, rs2):
+        return self._alu(Opcode.ADD, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        return self._alu(Opcode.SUB, rd, rs1, rs2)
+
+    def addi(self, rd, rs1, imm: int):
+        return self._alu_imm(Opcode.ADDI, rd, rs1, imm)
+
+    def and_(self, rd, rs1, rs2):
+        return self._alu(Opcode.AND, rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2):
+        return self._alu(Opcode.OR, rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2):
+        return self._alu(Opcode.XOR, rd, rs1, rs2)
+
+    def sll(self, rd, rs1, rs2):
+        return self._alu(Opcode.SLL, rd, rs1, rs2)
+
+    def srl(self, rd, rs1, rs2):
+        return self._alu(Opcode.SRL, rd, rs1, rs2)
+
+    def slt(self, rd, rs1, rs2):
+        return self._alu(Opcode.SLT, rd, rs1, rs2)
+
+    def slti(self, rd, rs1, imm: int):
+        return self._alu_imm(Opcode.SLTI, rd, rs1, imm)
+
+    def mul(self, rd, rs1, rs2):
+        return self._alu(Opcode.MUL, rd, rs1, rs2)
+
+    def div(self, rd, rs1, rs2):
+        return self._alu(Opcode.DIV, rd, rs1, rs2)
+
+    def mod(self, rd, rs1, rs2):
+        return self._alu(Opcode.MOD, rd, rs1, rs2)
+
+    # ------------------------------------------------------------------
+    # Floating point
+    # ------------------------------------------------------------------
+    def fadd(self, rd, rs1, rs2):
+        return self._alu(Opcode.FADD, rd, rs1, rs2)
+
+    def fsub(self, rd, rs1, rs2):
+        return self._alu(Opcode.FSUB, rd, rs1, rs2)
+
+    def fmul(self, rd, rs1, rs2):
+        return self._alu(Opcode.FMUL, rd, rs1, rs2)
+
+    def fdiv(self, rd, rs1, rs2):
+        return self._alu(Opcode.FDIV, rd, rs1, rs2)
+
+    def fsqrt(self, rd, rs1):
+        return self.emit(Instruction(
+            Opcode.FSQRT, rd=resolve_register(rd), rs1=resolve_register(rs1)))
+
+    def fneg(self, rd, rs1):
+        return self.emit(Instruction(
+            Opcode.FNEG, rd=resolve_register(rd), rs1=resolve_register(rs1)))
+
+    def cvtif(self, fd, rs1):
+        return self.emit(Instruction(
+            Opcode.CVTIF, rd=resolve_register(fd), rs1=resolve_register(rs1)))
+
+    def cvtfi(self, rd, fs1):
+        return self.emit(Instruction(
+            Opcode.CVTFI, rd=resolve_register(rd), rs1=resolve_register(fs1)))
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def load(self, rd, base, offset: int = 0):
+        """``rd <- mem[base + offset]`` (integer destination)."""
+        return self.emit(Instruction(
+            Opcode.LOAD, rd=resolve_register(rd),
+            rs1=resolve_register(base), imm=offset))
+
+    def store(self, value, base, offset: int = 0):
+        """``mem[base + offset] <- value`` (integer source)."""
+        return self.emit(Instruction(
+            Opcode.STORE, rs1=resolve_register(base),
+            rs2=resolve_register(value), imm=offset))
+
+    def fload(self, fd, base, offset: int = 0):
+        return self.emit(Instruction(
+            Opcode.FLOAD, rd=resolve_register(fd),
+            rs1=resolve_register(base), imm=offset))
+
+    def fstore(self, fvalue, base, offset: int = 0):
+        return self.emit(Instruction(
+            Opcode.FSTORE, rs1=resolve_register(base),
+            rs2=resolve_register(fvalue), imm=offset))
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def _branch(self, op: Opcode, rs1, rs2, target: str) -> int:
+        return self.emit(Instruction(
+            op, rs1=resolve_register(rs1), rs2=resolve_register(rs2),
+            target=target))
+
+    def beq(self, rs1, rs2, target: str):
+        return self._branch(Opcode.BEQ, rs1, rs2, target)
+
+    def bne(self, rs1, rs2, target: str):
+        return self._branch(Opcode.BNE, rs1, rs2, target)
+
+    def blt(self, rs1, rs2, target: str):
+        return self._branch(Opcode.BLT, rs1, rs2, target)
+
+    def bge(self, rs1, rs2, target: str):
+        return self._branch(Opcode.BGE, rs1, rs2, target)
+
+    def jump(self, target: str):
+        return self.emit(Instruction(Opcode.JUMP, target=target))
+
+    def jal(self, rd, target: str):
+        return self.emit(Instruction(
+            Opcode.JAL, rd=resolve_register(rd), target=target))
+
+    def jr(self, rs1):
+        return self.emit(Instruction(Opcode.JR, rs1=resolve_register(rs1)))
+
+    def nop(self):
+        return self.emit(Instruction(Opcode.NOP))
+
+    def halt(self):
+        return self.emit(Instruction(Opcode.HALT))
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Resolve labels and return the finalized program."""
+        resolved: list[Instruction] = []
+        for idx, inst in enumerate(self._instructions):
+            target = inst.target
+            if isinstance(target, str):
+                if target not in self._labels:
+                    raise ProgramError(
+                        f"{self.name!r}[{idx}]: undefined label {target!r}")
+                target_index = self._labels[target]
+                inst = Instruction(
+                    inst.op, rd=inst.rd, rs1=inst.rs1, rs2=inst.rs2,
+                    imm=inst.imm, target=target_index, label=inst.label)
+            resolved.append(inst)
+        entry = self._entry
+        entry_label = getattr(self, "_entry_label", None)
+        if entry_label is not None:
+            if entry_label not in self._labels:
+                raise ProgramError(
+                    f"{self.name!r}: undefined entry label {entry_label!r}")
+            entry = self._labels[entry_label]
+        return Program(
+            name=self.name,
+            instructions=resolved,
+            data=dict(self._data),
+            entry=entry,
+            labels=dict(self._labels),
+        )

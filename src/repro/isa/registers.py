@@ -1,0 +1,94 @@
+"""Architectural state: register files and sparse memory.
+
+The architectural state is everything a *functional* simulator maintains
+(Section 3.1 of the paper: "Only programmer-visible architectural state
+(e.g., architectural registers and memory) is updated in the functional
+mode").  Microarchitectural state (caches, predictors, pipeline) lives in
+the other substrate packages.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import FP_REG_BASE, NUM_FP_REGS, NUM_INT_REGS
+from repro.isa.program import WORD_SIZE, Program
+
+
+class ArchState:
+    """Registers, memory, and the program counter.
+
+    Memory is a sparse word-granular dictionary keyed by byte address
+    (addresses are aligned down to :data:`WORD_SIZE`).  Uninitialized
+    memory reads return 0, mirroring a zero-filled address space.
+    """
+
+    __slots__ = ("int_regs", "fp_regs", "memory", "pc", "halted")
+
+    def __init__(self) -> None:
+        self.int_regs: list[int] = [0] * NUM_INT_REGS
+        self.fp_regs: list[float] = [0.0] * NUM_FP_REGS
+        self.memory: dict[int, float] = {}
+        self.pc: int = 0
+        self.halted: bool = False
+
+    # ------------------------------------------------------------------
+    # Registers (flattened namespace)
+    # ------------------------------------------------------------------
+    def read_reg(self, reg: int) -> float:
+        """Read a register in the flattened namespace."""
+        if reg < FP_REG_BASE:
+            return self.int_regs[reg]
+        return self.fp_regs[reg - FP_REG_BASE]
+
+    def write_reg(self, reg: int, value: float) -> None:
+        """Write a register; writes to integer register 0 are discarded."""
+        if reg < FP_REG_BASE:
+            if reg != 0:
+                self.int_regs[reg] = int(value)
+        else:
+            self.fp_regs[reg - FP_REG_BASE] = float(value)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    @staticmethod
+    def align(address: int) -> int:
+        """Align a byte address down to its containing word."""
+        return (int(address) // WORD_SIZE) * WORD_SIZE
+
+    def load_word(self, address: int) -> float:
+        return self.memory.get(self.align(address), 0)
+
+    def store_word(self, address: int, value: float) -> None:
+        self.memory[self.align(address)] = value
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self, program: Program) -> None:
+        """Reset all architectural state to the program's initial image."""
+        self.int_regs = [0] * NUM_INT_REGS
+        self.fp_regs = [0.0] * NUM_FP_REGS
+        self.memory = {self.align(addr): val for addr, val in program.data.items()}
+        self.pc = program.entry
+        self.halted = False
+
+    def copy(self) -> "ArchState":
+        """Deep copy (used for checkpointing in tests and experiments)."""
+        clone = ArchState()
+        clone.int_regs = list(self.int_regs)
+        clone.fp_regs = list(self.fp_regs)
+        clone.memory = dict(self.memory)
+        clone.pc = self.pc
+        clone.halted = self.halted
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArchState):
+            return NotImplemented
+        return (
+            self.int_regs == other.int_regs
+            and self.fp_regs == other.fp_regs
+            and self.memory == other.memory
+            and self.pc == other.pc
+            and self.halted == other.halted
+        )

@@ -1,0 +1,23 @@
+"""Memory system substrate: caches, TLBs, MSHRs, store buffer, hierarchy."""
+
+from repro.memory.cache import CacheStats, SetAssociativeCache
+from repro.memory.hierarchy import L1, L2, MEM, AccessResult, MemoryHierarchy
+from repro.memory.mshr import MSHRFile, MSHRStats
+from repro.memory.store_buffer import StoreBuffer, StoreBufferStats
+from repro.memory.tlb import TLB, TLBStats
+
+__all__ = [
+    "AccessResult",
+    "CacheStats",
+    "L1",
+    "L2",
+    "MEM",
+    "MSHRFile",
+    "MSHRStats",
+    "MemoryHierarchy",
+    "SetAssociativeCache",
+    "StoreBuffer",
+    "StoreBufferStats",
+    "TLB",
+    "TLBStats",
+]

@@ -1,0 +1,118 @@
+"""Two-level cache hierarchy with TLBs.
+
+One :class:`MemoryHierarchy` instance is shared between functional
+warming and detailed simulation within a SMARTS run — that sharing *is*
+functional warming: the detailed simulator starts every sampling unit
+with cache and TLB state that has been continuously updated during
+fast-forwarding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.machines import MachineConfig
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.tlb import TLB
+
+#: Service level of a memory access.
+L1 = "l1"
+L2 = "l2"
+MEM = "mem"
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a memory access through the hierarchy."""
+
+    level: str
+    tlb_miss: bool
+
+    @property
+    def l1_hit(self) -> bool:
+        return self.level == L1
+
+
+class MemoryHierarchy:
+    """L1 I/D caches, unified L2, and I/D TLBs."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.l1i = SetAssociativeCache(
+            "l1i", config.l1i.size_bytes, config.l1i.assoc, config.l1i.block_bytes)
+        self.l1d = SetAssociativeCache(
+            "l1d", config.l1d.size_bytes, config.l1d.assoc, config.l1d.block_bytes)
+        self.l2 = SetAssociativeCache(
+            "l2", config.l2.size_bytes, config.l2.assoc, config.l2.block_bytes)
+        self.itlb = TLB("itlb", config.itlb.entries, config.itlb.assoc,
+                        config.itlb.page_bytes)
+        self.dtlb = TLB("dtlb", config.dtlb.entries, config.dtlb.assoc,
+                        config.dtlb.page_bytes)
+
+    # ------------------------------------------------------------------
+    # Accesses
+    # ------------------------------------------------------------------
+    def access_instruction(self, address: int) -> AccessResult:
+        """Fetch access: I-TLB, L1I, then L2 on miss."""
+        tlb_miss = not self.itlb.access(address)
+        if self.l1i.access(address):
+            return AccessResult(L1, tlb_miss)
+        if self.l2.access(address):
+            return AccessResult(L2, tlb_miss)
+        return AccessResult(MEM, tlb_miss)
+
+    def access_data(self, address: int, is_write: bool = False) -> AccessResult:
+        """Load/store access: D-TLB, L1D, then L2 on miss."""
+        tlb_miss = not self.dtlb.access(address)
+        if self.l1d.access(address, is_write):
+            return AccessResult(L1, tlb_miss)
+        if self.l2.access(address, is_write):
+            return AccessResult(L2, tlb_miss)
+        return AccessResult(MEM, tlb_miss)
+
+    # ------------------------------------------------------------------
+    # Latency mapping
+    # ------------------------------------------------------------------
+    def latency(self, result: AccessResult) -> int:
+        """Cycles to service an access with the given outcome."""
+        config = self.config
+        if result.level == L1:
+            cycles = config.l1_latency
+        elif result.level == L2:
+            cycles = config.l2_latency
+        else:
+            cycles = config.mem_latency
+        if result.tlb_miss:
+            cycles += config.tlb_miss_latency
+        return cycles
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Invalidate all cache and TLB state (cold start)."""
+        self.l1i.flush()
+        self.l1d.flush()
+        self.l2.flush()
+        self.itlb.flush()
+        self.dtlb.flush()
+
+    def reset_stats(self) -> None:
+        self.l1i.reset_stats()
+        self.l1d.reset_stats()
+        self.l2.reset_stats()
+        self.itlb.reset_stats()
+        self.dtlb.reset_stats()
+
+    def stats_summary(self) -> dict[str, float]:
+        """Miss rates of every structure, for reporting and tests."""
+        return {
+            "l1i_miss_rate": self.l1i.stats.miss_rate,
+            "l1d_miss_rate": self.l1d.stats.miss_rate,
+            "l2_miss_rate": self.l2.stats.miss_rate,
+            "itlb_miss_rate": self.itlb.stats.miss_rate,
+            "dtlb_miss_rate": self.dtlb.stats.miss_rate,
+            "l1i_accesses": self.l1i.stats.accesses,
+            "l1d_accesses": self.l1d.stats.accesses,
+            "l2_accesses": self.l2.stats.accesses,
+        }

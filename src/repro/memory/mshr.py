@@ -1,0 +1,88 @@
+"""Miss status holding registers (MSHRs).
+
+The paper's enhanced ``sim-outorder`` memory subsystem models MSHRs and
+interconnect bottlenecks (Section 3.2).  This model is used by the
+detailed timing simulator, which is timestamp-based: each outstanding
+miss is an entry with the cycle at which its data returns.  Requests to a
+block that already has an outstanding miss merge into the existing entry;
+when all MSHRs are busy a new miss must wait for the earliest entry to
+retire (a structural stall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MSHRStats:
+    allocations: int = 0
+    merges: int = 0
+    structural_stalls: int = 0
+    stall_cycles: int = 0
+
+
+class MSHRFile:
+    """A bank of miss status holding registers.
+
+    The file is consulted only by the detailed timing model; functional
+    warming does not track outstanding misses (it has no notion of time).
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("MSHR entry count must be positive")
+        self.entries = entries
+        self.stats = MSHRStats()
+        # Maps block address -> completion cycle.
+        self._outstanding: dict[int, int] = {}
+
+    def _expire(self, now: int) -> None:
+        if self._outstanding:
+            expired = [blk for blk, t in self._outstanding.items() if t <= now]
+            for blk in expired:
+                del self._outstanding[blk]
+
+    def outstanding(self, now: int) -> int:
+        """Number of misses still in flight at cycle ``now``."""
+        self._expire(now)
+        return len(self._outstanding)
+
+    def request(self, block: int, now: int, latency: int) -> tuple[int, int]:
+        """Issue a miss request for ``block`` at cycle ``now``.
+
+        Returns ``(ready_cycle, stall_cycles)`` where ``ready_cycle`` is
+        when the data becomes available and ``stall_cycles`` is any delay
+        incurred waiting for a free MSHR (zero when one was available or
+        the request merged with an outstanding miss).
+        """
+        self._expire(now)
+        existing = self._outstanding.get(block)
+        if existing is not None and existing > now:
+            self.stats.merges += 1
+            return existing, 0
+
+        stall = 0
+        if len(self._outstanding) >= self.entries:
+            earliest = min(self._outstanding.values())
+            stall = max(0, earliest - now)
+            self.stats.structural_stalls += 1
+            self.stats.stall_cycles += stall
+            self._expire(earliest)
+            # If expiry did not free an entry (all completions in the
+            # future beyond ``earliest``), drop the oldest entry anyway --
+            # its data has been requested and will arrive regardless; we
+            # only lose merge opportunities, not correctness.
+            if len(self._outstanding) >= self.entries:
+                oldest = min(self._outstanding, key=self._outstanding.get)
+                del self._outstanding[oldest]
+        ready = now + stall + latency
+        self._outstanding[block] = ready
+        self.stats.allocations += 1
+        return ready, stall
+
+    def flush(self) -> None:
+        self._outstanding.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = MSHRStats()

@@ -1,0 +1,24 @@
+"""SimPoint baseline: BBV profiling, clustering, weighted estimation."""
+
+from repro.simpoint.bbv import BBVProfile, profile_bbv, project_vectors
+from repro.simpoint.estimator import (
+    SimPoint,
+    SimPointResult,
+    run_simpoint,
+    select_simpoints,
+)
+from repro.simpoint.kmeans import KMeansResult, bic_score, choose_clustering, kmeans
+
+__all__ = [
+    "BBVProfile",
+    "KMeansResult",
+    "SimPoint",
+    "SimPointResult",
+    "bic_score",
+    "choose_clustering",
+    "kmeans",
+    "profile_bbv",
+    "project_vectors",
+    "run_simpoint",
+    "select_simpoints",
+]

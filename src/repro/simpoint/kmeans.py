@@ -1,0 +1,137 @@
+"""K-means clustering with BIC-based model selection.
+
+A small, dependency-free (numpy-only) implementation of the clustering
+machinery SimPoint uses: k-means with k-means++ seeding, run for several
+values of k, scored with the Bayesian Information Criterion, keeping the
+smallest k whose BIC is within a fraction of the best observed BIC
+(SimPoint's published heuristic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Result of one k-means run."""
+
+    k: int
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+
+    def cluster_sizes(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def _kmeans_plus_plus_init(data: np.ndarray, k: int,
+                           rng: np.random.Generator) -> np.ndarray:
+    """k-means++ centroid seeding."""
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]), dtype=float)
+    first = rng.integers(n)
+    centroids[0] = data[first]
+    closest_sq = ((data - centroids[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            centroids[i] = data[rng.integers(n)]
+        else:
+            probabilities = closest_sq / total
+            choice = rng.choice(n, p=probabilities)
+            centroids[i] = data[choice]
+        distances = ((data - centroids[i]) ** 2).sum(axis=1)
+        closest_sq = np.minimum(closest_sq, distances)
+    return centroids
+
+
+def kmeans(data: np.ndarray, k: int, max_iterations: int = 100,
+           seed: int = 0) -> KMeansResult:
+    """Cluster ``data`` (rows are points) into ``k`` clusters."""
+    data = np.asarray(data, dtype=float)
+    n = data.shape[0]
+    if n == 0:
+        raise ValueError("cannot cluster an empty data set")
+    k = min(k, n)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    rng = np.random.default_rng(seed)
+    centroids = _kmeans_plus_plus_init(data, k, rng)
+    labels = np.zeros(n, dtype=int)
+
+    for _ in range(max_iterations):
+        # Assignment step.
+        distances = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_labels = distances.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        # Update step; re-seed empty clusters on the farthest points.
+        for cluster in range(k):
+            members = data[labels == cluster]
+            if len(members) == 0:
+                farthest = distances.min(axis=1).argmax()
+                centroids[cluster] = data[farthest]
+            else:
+                centroids[cluster] = members.mean(axis=0)
+
+    distances = ((data - centroids[labels]) ** 2).sum(axis=1)
+    return KMeansResult(k=k, labels=labels, centroids=centroids,
+                        inertia=float(distances.sum()))
+
+
+def bic_score(data: np.ndarray, result: KMeansResult) -> float:
+    """Bayesian Information Criterion of a clustering (higher is better).
+
+    Uses the spherical-Gaussian likelihood approximation from the
+    x-means/SimPoint literature.
+    """
+    n, d = data.shape
+    k = result.k
+    if n <= k:
+        return float("-inf")
+    variance = result.inertia / max(1e-12, (n - k))
+    variance = max(variance, 1e-12)
+    sizes = result.cluster_sizes()
+    log_likelihood = 0.0
+    for size in sizes:
+        if size <= 0:
+            continue
+        log_likelihood += (
+            size * np.log(size / n)
+            - size * d / 2.0 * np.log(2.0 * np.pi * variance)
+            - (size - 1) * d / 2.0 / max(1, (n - k)) * 0  # absorbed in variance term
+        )
+    log_likelihood -= (n - k) * d / 2.0
+    parameters = k * (d + 1)
+    return float(log_likelihood - parameters / 2.0 * np.log(n))
+
+
+def choose_clustering(data: np.ndarray, max_k: int = 10, seed: int = 0,
+                      bic_threshold: float = 0.9) -> KMeansResult:
+    """Pick a clustering following SimPoint's BIC heuristic.
+
+    Runs k-means for k = 1..max_k, scores each with BIC, and returns the
+    clustering with the smallest k whose BIC reaches ``bic_threshold`` of
+    the way from the worst to the best observed score.
+    """
+    data = np.asarray(data, dtype=float)
+    max_k = max(1, min(max_k, data.shape[0]))
+    results: list[KMeansResult] = []
+    scores: list[float] = []
+    for k in range(1, max_k + 1):
+        result = kmeans(data, k, seed=seed + k)
+        results.append(result)
+        scores.append(bic_score(data, result))
+    best = max(scores)
+    worst = min(scores)
+    span = best - worst
+    if span <= 0:
+        return results[0]
+    for result, score in zip(results, scores):
+        if (score - worst) / span >= bic_threshold:
+            return result
+    return results[int(np.argmax(scores))]

@@ -1,0 +1,31 @@
+"""Synthetic workloads standing in for SPEC CPU2000."""
+
+from repro.workloads.kernels import KERNELS, DataAllocator, KernelInstance
+from repro.workloads.suite import (
+    SUITE_NAMES,
+    Benchmark,
+    BenchmarkSpec,
+    KernelSpec,
+    PhaseSpec,
+    build_program,
+    build_suite,
+    get_benchmark,
+    micro_benchmark,
+    suite_specs,
+)
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkSpec",
+    "DataAllocator",
+    "KERNELS",
+    "KernelInstance",
+    "KernelSpec",
+    "PhaseSpec",
+    "SUITE_NAMES",
+    "build_program",
+    "build_suite",
+    "get_benchmark",
+    "micro_benchmark",
+    "suite_specs",
+]

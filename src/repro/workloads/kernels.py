@@ -1,0 +1,415 @@
+"""Kernel library for synthetic benchmark construction.
+
+Each kernel emits a self-contained subroutine into a
+:class:`~repro.isa.builder.ProgramBuilder`.  The subroutine is entered
+with ``jal r31, <label>`` and returns with ``jr r31``.  All parameters
+(array bases, element counts, constants) are baked into the emitted code,
+so one benchmark may instantiate the same kernel several times with
+different working sets.
+
+Register conventions: kernels may clobber ``r1``–``r20`` and ``f1``–``f12``.
+Benchmark drivers (see :mod:`repro.workloads.suite`) keep their loop
+counters in ``r21``–``r29`` and the link register is ``r31``.
+
+The kernels span the behaviours whose interaction the SMARTS paper
+studies on SPEC CPU2000:
+
+==================  ============================================================
+kernel              behaviour
+==================  ============================================================
+``stream_sum``      sequential integer loads, high spatial locality
+``stream_triad``    streaming FP loads/stores (swim/art-like bandwidth codes)
+``pointer_chase``   data-dependent loads over a shuffled list (mcf-like)
+``random_access``   LCG-scattered loads/stores over a table (vpr/gap-like)
+``branchy_walk``    data-dependent branches with configurable bias (gcc-like)
+``matmul``          register-blocked FP multiply-accumulate (mesa-like)
+``stencil``         3-point FP stencil sweeps (mgrid/swim-like)
+``alu_chain``       dependent integer ALU chain (low ILP, core-bound)
+``divider``         long-latency integer divide chain
+``sort_pass``       compare-and-swap passes over a small array (bzip2-like)
+==================  ============================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import WORD_SIZE
+
+
+@dataclass
+class KernelInstance:
+    """Handle to an emitted kernel subroutine."""
+
+    name: str
+    label: str
+    #: Approximate dynamic instructions executed per call.
+    dynamic_length: int
+
+
+class DataAllocator:
+    """Bump allocator for benchmark data segments.
+
+    Keeps kernel working sets in disjoint address regions so that their
+    cache footprints compose the way the benchmark designer intends.
+    """
+
+    def __init__(self, base: int = 0x1000, alignment: int = 64) -> None:
+        self._next = base
+        self._alignment = alignment
+
+    def alloc(self, nbytes: int) -> int:
+        base = self._next
+        aligned = ((nbytes + self._alignment - 1) // self._alignment) * self._alignment
+        self._next += aligned + self._alignment
+        return base
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+def emit_stream_sum(b: ProgramBuilder, label: str, alloc: DataAllocator,
+                    rng: random.Random, elems: int = 256) -> KernelInstance:
+    """Sequential reduction over an integer array."""
+    base = alloc.alloc(elems * WORD_SIZE)
+    b.data_block(base, [rng.randrange(1, 100) for _ in range(elems)])
+    b.label(label)
+    b.addi("r1", "r0", base)          # cursor
+    b.addi("r2", "r0", elems)         # remaining
+    b.addi("r3", "r0", 0)             # accumulator
+    top = f"{label}_top"
+    b.label(top)
+    b.load("r4", "r1", 0)
+    b.add("r3", "r3", "r4")
+    b.addi("r1", "r1", WORD_SIZE)
+    b.addi("r2", "r2", -1)
+    b.bne("r2", "r0", top)
+    b.jr("r31")
+    return KernelInstance("stream_sum", label, dynamic_length=5 * elems + 5)
+
+
+def emit_stream_triad(b: ProgramBuilder, label: str, alloc: DataAllocator,
+                      rng: random.Random, elems: int = 256) -> KernelInstance:
+    """STREAM-triad style FP kernel: ``a[i] = b[i] + s * c[i]``."""
+    a = alloc.alloc(elems * WORD_SIZE)
+    c = alloc.alloc(elems * WORD_SIZE)
+    d = alloc.alloc(elems * WORD_SIZE)
+    b.data_block(c, [rng.uniform(0.0, 1.0) for _ in range(elems)])
+    b.data_block(d, [rng.uniform(0.0, 1.0) for _ in range(elems)])
+    b.label(label)
+    b.addi("r1", "r0", a)
+    b.addi("r2", "r0", c)
+    b.addi("r3", "r0", d)
+    b.addi("r4", "r0", elems)
+    b.addi("r5", "r0", 3)
+    b.cvtif("f1", "r5")               # scalar s = 3.0
+    top = f"{label}_top"
+    b.label(top)
+    b.fload("f2", "r2", 0)
+    b.fload("f3", "r3", 0)
+    b.fmul("f4", "f3", "f1")
+    b.fadd("f5", "f2", "f4")
+    b.fstore("f5", "r1", 0)
+    b.addi("r1", "r1", WORD_SIZE)
+    b.addi("r2", "r2", WORD_SIZE)
+    b.addi("r3", "r3", WORD_SIZE)
+    b.addi("r4", "r4", -1)
+    b.bne("r4", "r0", top)
+    b.jr("r31")
+    return KernelInstance("stream_triad", label, dynamic_length=10 * elems + 8)
+
+
+def emit_pointer_chase(b: ProgramBuilder, label: str, alloc: DataAllocator,
+                       rng: random.Random, nodes: int = 1024,
+                       spacing: int = 64, hops: int = 512) -> KernelInstance:
+    """Follow a shuffled singly-linked list for ``hops`` steps.
+
+    The list is laid out with ``spacing`` bytes between nodes and the
+    successor order is a random permutation, so consecutive loads have no
+    spatial locality and each hop is a data-dependent cache access —
+    the mcf-like behaviour that dominates memory-bound SPEC codes.
+    """
+    base = alloc.alloc(nodes * spacing)
+    order = list(range(nodes))
+    rng.shuffle(order)
+    for i in range(nodes):
+        current = order[i]
+        successor = order[(i + 1) % nodes]
+        b.data_word(base + current * spacing, base + successor * spacing)
+    b.label(label)
+    b.addi("r1", "r0", base + order[0] * spacing)  # cursor
+    b.addi("r2", "r0", hops)
+    b.addi("r3", "r0", 0)
+    top = f"{label}_top"
+    b.label(top)
+    b.load("r1", "r1", 0)             # cursor = *cursor
+    b.addi("r3", "r3", 1)
+    b.addi("r2", "r2", -1)
+    b.bne("r2", "r0", top)
+    b.jr("r31")
+    return KernelInstance("pointer_chase", label, dynamic_length=4 * hops + 4)
+
+
+def emit_random_access(b: ProgramBuilder, label: str, alloc: DataAllocator,
+                       rng: random.Random, table_words: int = 1024,
+                       accesses: int = 256, store_every: int = 4) -> KernelInstance:
+    """LCG-scattered accesses over a table (GUPS-like).
+
+    ``table_words`` must be a power of two so the index can be formed
+    with a mask.  Every ``store_every``-th access is a store.
+    """
+    if table_words & (table_words - 1):
+        raise ValueError("table_words must be a power of two")
+    base = alloc.alloc(table_words * WORD_SIZE)
+    b.data_block(base, [rng.randrange(0, 1000) for _ in range(min(table_words, 4096))])
+    b.label(label)
+    b.addi("r1", "r0", rng.randrange(1, 1 << 16))   # LCG state
+    b.addi("r2", "r0", accesses)
+    b.addi("r3", "r0", table_words - 1)              # index mask
+    b.addi("r4", "r0", 1103515245)                   # LCG multiplier
+    b.addi("r5", "r0", 12345)                        # LCG increment
+    b.addi("r6", "r0", base)
+    b.addi("r7", "r0", 0)                            # accumulator
+    b.addi("r9", "r0", store_every - 1)
+    top = f"{label}_top"
+    skip = f"{label}_skip"
+    b.label(top)
+    b.mul("r1", "r1", "r4")
+    b.add("r1", "r1", "r5")
+    b.srl("r8", "r1", "r9")            # decorrelate low bits a little
+    b.and_("r8", "r8", "r3")
+    b.addi("r10", "r0", WORD_SIZE)
+    b.mul("r8", "r8", "r10")
+    b.add("r8", "r8", "r6")
+    b.load("r11", "r8", 0)
+    b.add("r7", "r7", "r11")
+    b.and_("r12", "r2", "r9")
+    b.bne("r12", "r0", skip)
+    b.store("r7", "r8", 0)
+    b.label(skip)
+    b.addi("r2", "r2", -1)
+    b.bne("r2", "r0", top)
+    b.jr("r31")
+    return KernelInstance("random_access", label, dynamic_length=14 * accesses + 9)
+
+
+def emit_branchy_walk(b: ProgramBuilder, label: str, alloc: DataAllocator,
+                      rng: random.Random, elems: int = 512,
+                      taken_bias: float = 0.7) -> KernelInstance:
+    """Walk an array and branch on each element.
+
+    Element values are drawn so that a fraction ``taken_bias`` of the
+    branches go one way; a bias near 0.5 produces gcc/crafty-like
+    misprediction rates, a bias near 1.0 produces easily predicted code.
+    """
+    base = alloc.alloc(elems * WORD_SIZE)
+    values = [1 if rng.random() < taken_bias else 0 for _ in range(elems)]
+    b.data_block(base, values)
+    b.label(label)
+    b.addi("r1", "r0", base)
+    b.addi("r2", "r0", elems)
+    b.addi("r3", "r0", 0)             # accumulator A
+    b.addi("r4", "r0", 1)             # accumulator B
+    top = f"{label}_top"
+    other = f"{label}_else"
+    join = f"{label}_join"
+    b.label(top)
+    b.load("r5", "r1", 0)
+    b.beq("r5", "r0", other)
+    b.addi("r3", "r3", 3)
+    b.xor("r4", "r4", "r3")
+    b.jump(join)
+    b.label(other)
+    b.addi("r4", "r4", 7)
+    b.sub("r3", "r3", "r4")
+    b.label(join)
+    b.addi("r1", "r1", WORD_SIZE)
+    b.addi("r2", "r2", -1)
+    b.bne("r2", "r0", top)
+    b.jr("r31")
+    return KernelInstance("branchy_walk", label, dynamic_length=9 * elems + 6)
+
+
+def emit_matmul(b: ProgramBuilder, label: str, alloc: DataAllocator,
+                rng: random.Random, n: int = 12) -> KernelInstance:
+    """Naive ``n x n`` FP matrix multiply (compute-bound, cache friendly)."""
+    mat_a = alloc.alloc(n * n * WORD_SIZE)
+    mat_b = alloc.alloc(n * n * WORD_SIZE)
+    mat_c = alloc.alloc(n * n * WORD_SIZE)
+    b.data_block(mat_a, [rng.uniform(0.0, 1.0) for _ in range(n * n)])
+    b.data_block(mat_b, [rng.uniform(0.0, 1.0) for _ in range(n * n)])
+    row_bytes = n * WORD_SIZE
+    b.label(label)
+    b.addi("r1", "r0", 0)                 # i
+    i_top = f"{label}_i"
+    j_top = f"{label}_j"
+    k_top = f"{label}_k"
+    b.label(i_top)
+    b.addi("r2", "r0", 0)                 # j
+    b.label(j_top)
+    b.addi("r3", "r0", 0)                 # k
+    b.addi("r4", "r0", 0)
+    b.cvtif("f1", "r4")                   # acc = 0.0
+    b.label(k_top)
+    # A[i][k]
+    b.addi("r5", "r0", row_bytes)
+    b.mul("r6", "r1", "r5")
+    b.addi("r7", "r0", WORD_SIZE)
+    b.mul("r8", "r3", "r7")
+    b.add("r6", "r6", "r8")
+    b.addi("r6", "r6", mat_a)
+    b.fload("f2", "r6", 0)
+    # B[k][j]
+    b.mul("r9", "r3", "r5")
+    b.mul("r10", "r2", "r7")
+    b.add("r9", "r9", "r10")
+    b.addi("r9", "r9", mat_b)
+    b.fload("f3", "r9", 0)
+    b.fmul("f4", "f2", "f3")
+    b.fadd("f1", "f1", "f4")
+    b.addi("r3", "r3", 1)
+    b.addi("r11", "r0", n)
+    b.blt("r3", "r11", k_top)
+    # C[i][j] = acc
+    b.addi("r12", "r0", row_bytes)
+    b.mul("r13", "r1", "r12")
+    b.addi("r14", "r0", WORD_SIZE)
+    b.mul("r15", "r2", "r14")
+    b.add("r13", "r13", "r15")
+    b.addi("r13", "r13", mat_c)
+    b.fstore("f1", "r13", 0)
+    b.addi("r2", "r2", 1)
+    b.addi("r16", "r0", n)
+    b.blt("r2", "r16", j_top)
+    b.addi("r1", "r1", 1)
+    b.blt("r1", "r16", i_top)
+    b.jr("r31")
+    return KernelInstance("matmul", label, dynamic_length=17 * n * n * n + 12 * n * n)
+
+
+def emit_stencil(b: ProgramBuilder, label: str, alloc: DataAllocator,
+                 rng: random.Random, elems: int = 512,
+                 sweeps: int = 1) -> KernelInstance:
+    """3-point FP stencil: ``a[i] = (b[i-1] + 2*b[i] + b[i+1]) / 4``."""
+    src = alloc.alloc((elems + 2) * WORD_SIZE)
+    dst = alloc.alloc((elems + 2) * WORD_SIZE)
+    b.data_block(src, [rng.uniform(0.0, 10.0) for _ in range(elems + 2)])
+    b.label(label)
+    b.addi("r10", "r0", sweeps)
+    sweep_top = f"{label}_sweep"
+    b.label(sweep_top)
+    b.addi("r1", "r0", src + WORD_SIZE)
+    b.addi("r2", "r0", dst + WORD_SIZE)
+    b.addi("r3", "r0", elems)
+    b.addi("r4", "r0", 2)
+    b.cvtif("f1", "r4")                   # 2.0
+    b.addi("r4", "r0", 4)
+    b.cvtif("f2", "r4")                   # 4.0
+    top = f"{label}_top"
+    b.label(top)
+    b.fload("f3", "r1", -WORD_SIZE)
+    b.fload("f4", "r1", 0)
+    b.fload("f5", "r1", WORD_SIZE)
+    b.fmul("f6", "f4", "f1")
+    b.fadd("f7", "f3", "f6")
+    b.fadd("f7", "f7", "f5")
+    b.fdiv("f8", "f7", "f2")
+    b.fstore("f8", "r2", 0)
+    b.addi("r1", "r1", WORD_SIZE)
+    b.addi("r2", "r2", WORD_SIZE)
+    b.addi("r3", "r3", -1)
+    b.bne("r3", "r0", top)
+    b.addi("r10", "r10", -1)
+    b.bne("r10", "r0", sweep_top)
+    b.jr("r31")
+    return KernelInstance(
+        "stencil", label, dynamic_length=sweeps * (12 * elems + 9) + 3)
+
+
+def emit_alu_chain(b: ProgramBuilder, label: str, alloc: DataAllocator,
+                   rng: random.Random, iters: int = 256) -> KernelInstance:
+    """Serially dependent integer ALU chain (exposes issue latency)."""
+    b.label(label)
+    b.addi("r1", "r0", iters)
+    b.addi("r2", "r0", rng.randrange(1, 64))
+    b.addi("r3", "r0", 17)
+    top = f"{label}_top"
+    b.label(top)
+    b.add("r2", "r2", "r3")
+    b.xor("r2", "r2", "r1")
+    b.sll("r4", "r2", "r0")
+    b.sub("r2", "r2", "r4")
+    b.or_("r2", "r2", "r3")
+    b.addi("r1", "r1", -1)
+    b.bne("r1", "r0", top)
+    b.jr("r31")
+    return KernelInstance("alu_chain", label, dynamic_length=7 * iters + 4)
+
+
+def emit_divider(b: ProgramBuilder, label: str, alloc: DataAllocator,
+                 rng: random.Random, iters: int = 64) -> KernelInstance:
+    """Integer divide chain (long-latency, unpipelined unit pressure)."""
+    b.label(label)
+    b.addi("r1", "r0", iters)
+    b.addi("r2", "r0", 1 << 30)
+    b.addi("r3", "r0", 3)
+    top = f"{label}_top"
+    b.label(top)
+    b.div("r2", "r2", "r3")
+    b.addi("r2", "r2", 1 << 20)
+    b.mod("r4", "r2", "r3")
+    b.add("r2", "r2", "r4")
+    b.addi("r1", "r1", -1)
+    b.bne("r1", "r0", top)
+    b.jr("r31")
+    return KernelInstance("divider", label, dynamic_length=6 * iters + 4)
+
+
+def emit_sort_pass(b: ProgramBuilder, label: str, alloc: DataAllocator,
+                   rng: random.Random, elems: int = 128,
+                   passes: int = 2) -> KernelInstance:
+    """Bubble-sort-style compare-and-swap passes (branchy + memory)."""
+    base = alloc.alloc(elems * WORD_SIZE)
+    b.data_block(base, [rng.randrange(0, 10000) for _ in range(elems)])
+    b.label(label)
+    b.addi("r10", "r0", passes)
+    pass_top = f"{label}_pass"
+    b.label(pass_top)
+    b.addi("r1", "r0", base)
+    b.addi("r2", "r0", elems - 1)
+    top = f"{label}_top"
+    noswap = f"{label}_noswap"
+    b.label(top)
+    b.load("r3", "r1", 0)
+    b.load("r4", "r1", WORD_SIZE)
+    b.bge("r4", "r3", noswap)
+    b.store("r4", "r1", 0)
+    b.store("r3", "r1", WORD_SIZE)
+    b.label(noswap)
+    b.addi("r1", "r1", WORD_SIZE)
+    b.addi("r2", "r2", -1)
+    b.bne("r2", "r0", top)
+    b.addi("r10", "r10", -1)
+    b.bne("r10", "r0", pass_top)
+    b.jr("r31")
+    return KernelInstance(
+        "sort_pass", label, dynamic_length=passes * (8 * elems + 4) + 3)
+
+
+#: Registry used by the benchmark suite.  Each entry maps a kernel name
+#: to its emitter function.
+KERNELS: dict[str, Callable[..., KernelInstance]] = {
+    "stream_sum": emit_stream_sum,
+    "stream_triad": emit_stream_triad,
+    "pointer_chase": emit_pointer_chase,
+    "random_access": emit_random_access,
+    "branchy_walk": emit_branchy_walk,
+    "matmul": emit_matmul,
+    "stencil": emit_stencil,
+    "alu_chain": emit_alu_chain,
+    "divider": emit_divider,
+    "sort_pass": emit_sort_pass,
+}

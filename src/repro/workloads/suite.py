@@ -1,0 +1,334 @@
+"""The synthetic benchmark suite standing in for SPEC CPU2000.
+
+Each benchmark is a phased composition of kernels from
+:mod:`repro.workloads.kernels`.  The suite is designed so its members
+span the behaviours the paper's SPEC2K study exercises:
+
+* cache-friendly, easily predicted codes with low CPI variability
+  (``gzip.syn``, ``mesa.syn``),
+* memory-bound pointer codes (``mcf.syn``),
+* streaming floating-point codes (``swim.syn``, ``art.syn``),
+* strongly phased codes whose coarse-grain behaviour changes over the
+  run and which therefore have high coefficients of variation and large
+  warming requirements (``ammp.syn``, ``mgrid.syn``, ``vpr.syn``),
+* branchy integer codes (``gcc.syn``, ``bzip2.syn``, ``parser.syn``).
+
+Benchmark names carry a ``.syn`` suffix to make explicit that they are
+synthetic stand-ins, not the SPEC programs themselves (see DESIGN.md,
+"Substitutions").  Dynamic instruction counts are controlled by a
+``scale`` factor; at ``scale=1.0`` each benchmark executes roughly half a
+million to one million instructions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.kernels import KERNELS, DataAllocator, KernelInstance
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One kernel instantiation within a phase."""
+
+    kernel: str
+    params: dict = field(default_factory=dict)
+    calls: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kernel not in KERNELS:
+            raise KeyError(f"unknown kernel {self.kernel!r}")
+        if self.calls <= 0:
+            raise ValueError("calls must be positive")
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One benchmark phase: a kernel mix repeated ``iterations`` times."""
+
+    kernels: tuple[KernelSpec, ...]
+    iterations: int
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ValueError("phase must contain at least one kernel")
+        if self.iterations <= 0:
+            raise ValueError("phase iterations must be positive")
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Full description of one synthetic benchmark."""
+
+    name: str
+    category: str
+    description: str
+    phases: tuple[PhaseSpec, ...]
+    repeat: int = 1
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.category not in ("int", "fp"):
+            raise ValueError("category must be 'int' or 'fp'")
+        if self.repeat <= 0:
+            raise ValueError("repeat must be positive")
+
+
+@dataclass
+class Benchmark:
+    """A built benchmark: its spec, program, and estimated length."""
+
+    spec: BenchmarkSpec
+    program: Program
+    estimated_length: int
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+def _scaled_iterations(iterations: int, scale: float) -> int:
+    return max(1, round(iterations * scale))
+
+
+def build_program(spec: BenchmarkSpec, scale: float = 1.0) -> Benchmark:
+    """Build the program for ``spec`` at the requested scale."""
+    builder = ProgramBuilder(spec.name)
+    alloc = DataAllocator()
+    rng = random.Random(spec.seed)
+
+    # Emit every kernel instance as a subroutine, one per KernelSpec.
+    instances: list[list[KernelInstance]] = []
+    for phase_idx, phase in enumerate(spec.phases):
+        phase_instances = []
+        for kernel_idx, kspec in enumerate(phase.kernels):
+            label = f"k_{phase_idx}_{kernel_idx}_{kspec.kernel}"
+            emit = KERNELS[kspec.kernel]
+            phase_instances.append(emit(builder, label, alloc, rng, **kspec.params))
+        instances.append(phase_instances)
+
+    # Driver: repeat { for each phase { iterate its kernel mix } }.
+    builder.label("main")
+    estimated = 0
+    builder.addi("r22", "r0", spec.repeat)
+    builder.label("repeat_top")
+    for phase_idx, phase in enumerate(spec.phases):
+        iterations = _scaled_iterations(phase.iterations, scale)
+        builder.addi("r21", "r0", iterations)
+        builder.label(f"phase_{phase_idx}_top")
+        per_iteration = 0
+        for kspec, instance in zip(phase.kernels, instances[phase_idx]):
+            for _ in range(kspec.calls):
+                builder.jal("r31", instance.label)
+                per_iteration += instance.dynamic_length + 2
+        builder.addi("r21", "r21", -1)
+        builder.bne("r21", "r0", f"phase_{phase_idx}_top")
+        estimated += (per_iteration + 2) * iterations
+    builder.addi("r22", "r22", -1)
+    builder.bne("r22", "r0", "repeat_top")
+    builder.halt()
+    builder.set_entry("main")
+    estimated = (estimated + 2) * spec.repeat
+
+    return Benchmark(spec=spec, program=builder.build(), estimated_length=estimated)
+
+
+# ----------------------------------------------------------------------
+# Suite definition
+# ----------------------------------------------------------------------
+def _spec(name, category, description, phases, repeat=1, seed=None) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        category=category,
+        description=description,
+        phases=tuple(phases),
+        repeat=repeat,
+        seed=seed if seed is not None else (hash(name) & 0xFFFF) or 1,
+    )
+
+
+def suite_specs() -> list[BenchmarkSpec]:
+    """Specifications of the full synthetic suite (12 benchmarks)."""
+    k = KernelSpec
+    return [
+        _spec(
+            "gzip.syn", "int",
+            "Cache-friendly integer streaming with well-predicted branches "
+            "(low CPI variability).",
+            [
+                PhaseSpec((k("stream_sum", {"elems": 1024}),
+                           k("branchy_walk", {"elems": 512, "taken_bias": 0.9})), 40),
+                PhaseSpec((k("alu_chain", {"iters": 512}),
+                           k("stream_sum", {"elems": 256})), 40),
+            ],
+        ),
+        _spec(
+            "gcc.syn", "int",
+            "Branchy integer code with distinct parse/optimize/emit-like "
+            "phases touching different working sets.",
+            [
+                PhaseSpec((k("branchy_walk", {"elems": 1024, "taken_bias": 0.6}),
+                           k("sort_pass", {"elems": 256, "passes": 2})), 25),
+                PhaseSpec((k("pointer_chase",
+                             {"nodes": 2048, "spacing": 64, "hops": 1024}),
+                           k("alu_chain", {"iters": 256})), 30),
+                PhaseSpec((k("random_access",
+                             {"table_words": 8192, "accesses": 512}),), 20),
+            ],
+        ),
+        _spec(
+            "mcf.syn", "int",
+            "Memory-bound pointer chasing over a working set far larger "
+            "than L2 (high CPI, long-history cache state).",
+            [
+                PhaseSpec((k("pointer_chase",
+                             {"nodes": 8192, "spacing": 64, "hops": 4096}),), 30),
+                PhaseSpec((k("stream_sum", {"elems": 2048}),), 10),
+            ],
+        ),
+        _spec(
+            "ammp.syn", "fp",
+            "Alternating large-footprint stencil and small compute phases; "
+            "the highest coarse-grain CPI variability in the suite.",
+            [
+                PhaseSpec((k("stencil", {"elems": 2048, "sweeps": 1}),), 4),
+                PhaseSpec((k("alu_chain", {"iters": 128}),
+                           k("matmul", {"n": 6})), 8),
+            ],
+            repeat=4,
+        ),
+        _spec(
+            "vpr.syn", "int",
+            "Scattered table accesses with poorly biased branches "
+            "(place-and-route-like).",
+            [
+                PhaseSpec((k("random_access",
+                             {"table_words": 32768, "accesses": 1024}),
+                           k("branchy_walk", {"elems": 512, "taken_bias": 0.55})), 20),
+                PhaseSpec((k("alu_chain", {"iters": 512}),), 30),
+            ],
+        ),
+        _spec(
+            "mesa.syn", "fp",
+            "Compute-bound FP multiply-accumulate on a small working set "
+            "(rendering-pipeline-like, low variability).",
+            [
+                PhaseSpec((k("matmul", {"n": 12}),), 16),
+                PhaseSpec((k("stream_triad", {"elems": 512}),), 10),
+            ],
+        ),
+        _spec(
+            "swim.syn", "fp",
+            "Streaming FP triad and stencil over large arrays "
+            "(bandwidth-bound, steady behaviour).",
+            [
+                PhaseSpec((k("stream_triad", {"elems": 4096}),), 10),
+                PhaseSpec((k("stencil", {"elems": 4096, "sweeps": 1}),), 3),
+            ],
+        ),
+        _spec(
+            "art.syn", "fp",
+            "Repeated scans of moderate arrays mixed with short branchy "
+            "bookkeeping (neural-net-like).",
+            [
+                PhaseSpec((k("stream_sum", {"elems": 4096}),
+                           k("stream_triad", {"elems": 1024}),), 15),
+                PhaseSpec((k("branchy_walk", {"elems": 256, "taken_bias": 0.7}),), 20),
+            ],
+        ),
+        _spec(
+            "equake.syn", "fp",
+            "Sparse-like scattered accesses feeding stencil updates, with a "
+            "long-latency divide tail.",
+            [
+                PhaseSpec((k("random_access",
+                             {"table_words": 16384, "accesses": 768}),
+                           k("stencil", {"elems": 1024, "sweeps": 1})), 18),
+                PhaseSpec((k("divider", {"iters": 128}),
+                           k("alu_chain", {"iters": 256})), 40),
+            ],
+        ),
+        _spec(
+            "mgrid.syn", "fp",
+            "Multigrid-like stencil sweeps over successively smaller grids; "
+            "large microarchitectural state history (hard to warm with "
+            "detailed warming alone).",
+            [
+                PhaseSpec((k("stencil", {"elems": 8192, "sweeps": 1}),), 2),
+                PhaseSpec((k("stencil", {"elems": 2048, "sweeps": 1}),), 6),
+                PhaseSpec((k("stencil", {"elems": 512, "sweeps": 1}),), 20),
+                PhaseSpec((k("stream_triad", {"elems": 2048}),), 5),
+            ],
+        ),
+        _spec(
+            "bzip2.syn", "int",
+            "Sorting passes and biased branches over block-sized buffers "
+            "(compression-like phased behaviour).",
+            [
+                PhaseSpec((k("sort_pass", {"elems": 512, "passes": 4}),
+                           k("branchy_walk", {"elems": 1024, "taken_bias": 0.65})), 15),
+                PhaseSpec((k("random_access",
+                             {"table_words": 4096, "accesses": 512}),
+                           k("stream_sum", {"elems": 512})), 15),
+            ],
+        ),
+        _spec(
+            "parser.syn", "int",
+            "Small-footprint pointer chasing and branchy dictionary-like "
+            "lookups with integer compute.",
+            [
+                PhaseSpec((k("pointer_chase",
+                             {"nodes": 1024, "spacing": 64, "hops": 1024}),
+                           k("branchy_walk", {"elems": 512, "taken_bias": 0.6}),
+                           k("alu_chain", {"iters": 256})), 30),
+                PhaseSpec((k("sort_pass", {"elems": 256, "passes": 2}),
+                           k("divider", {"iters": 64})), 35),
+            ],
+        ),
+    ]
+
+
+#: Names of all benchmarks in the suite, in canonical order.
+SUITE_NAMES = [spec.name for spec in suite_specs()]
+
+
+@lru_cache(maxsize=None)
+def _spec_by_name(name: str) -> BenchmarkSpec:
+    for spec in suite_specs():
+        if spec.name == name:
+            return spec
+    raise KeyError(
+        f"unknown benchmark {name!r}; available: {SUITE_NAMES}")
+
+
+def get_benchmark(name: str, scale: float = 1.0) -> Benchmark:
+    """Build one benchmark of the suite by name."""
+    return build_program(_spec_by_name(name), scale=scale)
+
+
+def build_suite(scale: float = 1.0, names: list[str] | None = None) -> list[Benchmark]:
+    """Build the full suite (or a named subset) at the given scale."""
+    selected = names if names is not None else SUITE_NAMES
+    return [get_benchmark(name, scale=scale) for name in selected]
+
+
+def micro_benchmark(name: str = "micro.syn", seed: int = 7) -> Benchmark:
+    """A very small benchmark (~20k instructions) for unit tests."""
+    k = KernelSpec
+    spec = _spec(
+        name, "int",
+        "Tiny mixed kernel benchmark for fast tests.",
+        [
+            PhaseSpec((k("stream_sum", {"elems": 64}),
+                       k("branchy_walk", {"elems": 64, "taken_bias": 0.7})), 8),
+            PhaseSpec((k("pointer_chase",
+                         {"nodes": 128, "spacing": 64, "hops": 128}),
+                       k("alu_chain", {"iters": 64})), 8),
+        ],
+        seed=seed,
+    )
+    return build_program(spec, scale=1.0)

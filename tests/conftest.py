@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (the micro benchmark, its reference simulation) are
+session-scoped so the many tests that need them pay the simulation cost
+once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import scaled_16way, scaled_8way
+from repro.harness.reference import run_reference
+from repro.workloads import micro_benchmark
+
+
+@pytest.fixture(scope="session")
+def machine_8way():
+    """Scaled 8-way baseline machine configuration."""
+    return scaled_8way()
+
+
+@pytest.fixture(scope="session")
+def machine_16way():
+    """Scaled 16-way aggressive machine configuration."""
+    return scaled_16way()
+
+
+@pytest.fixture(scope="session")
+def micro():
+    """A tiny (~15k instruction) benchmark used throughout the tests."""
+    return micro_benchmark()
+
+
+@pytest.fixture(scope="session")
+def micro_reference(micro, machine_8way):
+    """Full-stream detailed reference of the micro benchmark (8-way)."""
+    return run_reference(micro.program, machine_8way, chunk_size=25,
+                         use_cache=False)
+
+
+@pytest.fixture(scope="session")
+def micro_reference_16way(micro, machine_16way):
+    """Full-stream detailed reference of the micro benchmark (16-way)."""
+    return run_reference(micro.program, machine_16way, chunk_size=25,
+                         use_cache=False)

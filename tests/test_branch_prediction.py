@@ -1,0 +1,172 @@
+"""Unit tests for branch predictors, BTB, RAS, and the branch unit."""
+
+import pytest
+
+from repro.branch import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    BranchUnit,
+    CombinedPredictor,
+    GSharePredictor,
+    ReturnAddressStack,
+    SaturatingCounterTable,
+)
+from repro.config.machines import BranchConfig
+from repro.isa import Opcode
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+
+
+def make_branch(pc: int, op: Opcode, taken: bool, target: int) -> DynInst:
+    return DynInst(
+        seq=0, pc=pc, op=op, opclass=OpClass.BRANCH, rd=None, srcs=(),
+        mem_addr=None, is_load=False, is_store=False, is_branch=True,
+        is_conditional=op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE),
+        taken=taken, next_pc=target if taken else pc + 1)
+
+
+class TestSaturatingCounters:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            SaturatingCounterTable(100)
+
+    def test_training_toward_taken(self):
+        table = SaturatingCounterTable(4)
+        assert table.predict(0) is False           # initialized weakly not-taken
+        table.update(0, True)
+        assert table.predict(0) is True
+        table.update(0, True)
+        table.update(0, False)
+        assert table.predict(0) is True            # hysteresis
+
+    def test_saturation(self):
+        table = SaturatingCounterTable(4)
+        for _ in range(10):
+            table.update(1, True)
+        assert table.counters[1] == table.MAX_VALUE
+        for _ in range(10):
+            table.update(1, False)
+        assert table.counters[1] == 0
+
+
+class TestDirectionPredictors:
+    def test_bimodal_learns_bias(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(20):
+            predictor.update(12, True)
+        assert predictor.predict(12) is True
+
+    def test_gshare_learns_alternating_pattern(self):
+        predictor = GSharePredictor(256, history_bits=4)
+        pattern = [True, False] * 64
+        # Train on the alternating pattern.
+        for outcome in pattern:
+            predictor.update(7, outcome)
+        # After training, predictions should track the pattern.
+        correct = 0
+        for outcome in pattern[:32]:
+            if predictor.predict(7) == outcome:
+                correct += 1
+            predictor.update(7, outcome)
+        assert correct >= 28       # bimodal alone would get ~50%
+
+    def test_combined_beats_components_on_mixed_workload(self):
+        combined = CombinedPredictor(256, history_bits=6)
+        # Branch A is strongly biased, branch B alternates.
+        sequence = []
+        state = True
+        for i in range(400):
+            sequence.append((0x10, True))
+            state = not state
+            sequence.append((0x20, state))
+        for pc, outcome in sequence:
+            combined.predict_and_update(pc, outcome)
+        assert combined.misprediction_rate < 0.25
+
+    def test_combined_reset(self):
+        combined = CombinedPredictor(64, history_bits=4)
+        combined.predict_and_update(3, True)
+        combined.reset()
+        assert combined.lookups == 0
+        assert combined.misprediction_rate == 0.0
+
+
+class TestBTBAndRAS:
+    def test_btb_lookup_miss_then_hit(self):
+        btb = BranchTargetBuffer(64, assoc=4)
+        assert btb.lookup(10) is None
+        btb.update(10, 99)
+        assert btb.lookup(10) == 99
+        assert btb.hit_rate == pytest.approx(0.5)
+
+    def test_btb_eviction(self):
+        btb = BranchTargetBuffer(2, assoc=2)
+        pcs = [0, 2, 4]                       # all even PCs share set 0
+        for pc in pcs:
+            btb.update(pc, pc + 100)
+        assert btb.lookup(0) is None          # oldest evicted
+        assert btb.lookup(4) == 104
+
+    def test_btb_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(10, assoc=4)
+
+    def test_ras_push_pop_order(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        ras.push(2)
+        assert ras.pop() == 2
+        assert ras.pop() == 1
+        assert ras.pop() is None
+
+    def test_ras_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert len(ras) == 2
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+
+
+class TestBranchUnit:
+    def make_unit(self) -> BranchUnit:
+        return BranchUnit(BranchConfig(table_entries=256, history_bits=6,
+                                       btb_entries=64, ras_entries=4))
+
+    def test_biased_branch_becomes_predictable(self):
+        unit = self.make_unit()
+        for _ in range(50):
+            unit.resolve(make_branch(5, Opcode.BNE, True, 2))
+        assert unit.misprediction_rate < 0.2
+
+    def test_direct_jump_needs_btb_training(self):
+        unit = self.make_unit()
+        first = unit.resolve(make_branch(9, Opcode.JUMP, True, 42))
+        assert first.mispredicted is True          # BTB cold
+        second = unit.resolve(make_branch(9, Opcode.JUMP, True, 42))
+        assert second.mispredicted is False
+
+    def test_call_return_pair_uses_ras(self):
+        unit = self.make_unit()
+        call = make_branch(3, Opcode.JAL, True, 20)
+        ret = make_branch(25, Opcode.JR, True, 4)   # returns to call.pc + 1
+        unit.resolve(call)
+        outcome = unit.resolve(ret)
+        assert outcome.predicted_target == 4
+        assert outcome.mispredicted is False
+
+    def test_warm_trains_without_counting_predictions(self):
+        unit = self.make_unit()
+        for _ in range(30):
+            unit.warm(make_branch(5, Opcode.BNE, True, 2))
+        assert unit.branches == 0                  # warm() records nothing
+        outcome = unit.resolve(make_branch(5, Opcode.BNE, True, 2))
+        assert outcome.mispredicted is False       # but state is trained
+
+    def test_reset(self):
+        unit = self.make_unit()
+        unit.resolve(make_branch(5, Opcode.BNE, True, 2))
+        unit.reset()
+        assert unit.branches == 0
+        assert unit.misprediction_rate == 0.0

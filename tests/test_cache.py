@@ -1,0 +1,139 @@
+"""Unit and property-based tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import SetAssociativeCache
+
+
+class TestCacheBasics:
+    def test_geometry(self):
+        cache = SetAssociativeCache("c", 1024, 2, block_bytes=32)
+        assert cache.num_sets == 16
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache("c", 0, 2)
+        with pytest.raises(ValueError):
+            SetAssociativeCache("c", 64, 4, block_bytes=32)
+
+    def test_first_access_misses_then_hits(self):
+        cache = SetAssociativeCache("c", 1024, 2)
+        assert cache.access(0x100) is False
+        assert cache.access(0x100) is True
+
+    def test_same_block_different_offset_hits(self):
+        cache = SetAssociativeCache("c", 1024, 2, block_bytes=32)
+        cache.access(0x100)
+        assert cache.access(0x100 + 31) is True
+        assert cache.access(0x100 + 32) is False
+
+    def test_stats(self):
+        cache = SetAssociativeCache("c", 1024, 2)
+        cache.access(0)
+        cache.access(0)
+        cache.access(4096)
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_probe_does_not_touch_state(self):
+        cache = SetAssociativeCache("c", 1024, 2)
+        assert cache.probe(0x40) is False
+        cache.access(0x40)
+        accesses = cache.stats.accesses
+        assert cache.probe(0x40) is True
+        assert cache.stats.accesses == accesses
+
+    def test_flush(self):
+        cache = SetAssociativeCache("c", 1024, 2)
+        cache.access(0x40)
+        cache.flush()
+        assert cache.probe(0x40) is False
+        assert cache.resident_blocks() == 0
+
+
+class TestLRUReplacement:
+    def test_lru_eviction_order(self):
+        # 2-way cache with 1 set: 64 bytes, 2 ways, 32-byte blocks.
+        cache = SetAssociativeCache("c", 64, 2, block_bytes=32)
+        a, b, c = 0, 1000 * 32, 2000 * 32
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)          # a becomes MRU
+        cache.access(c)          # evicts b (LRU)
+        assert cache.probe(a) is True
+        assert cache.probe(b) is False
+        assert cache.probe(c) is True
+
+    def test_direct_mapped_conflicts(self):
+        cache = SetAssociativeCache("c", 64, 1, block_bytes=32)
+        a = 0
+        conflict = cache.num_sets * 32   # maps to the same set
+        cache.access(a)
+        cache.access(conflict)
+        assert cache.probe(a) is False
+
+    def test_capacity_never_exceeded(self):
+        cache = SetAssociativeCache("c", 256, 4, block_bytes=32)
+        for i in range(100):
+            cache.access(i * 32)
+        assert cache.resident_blocks() <= 8
+
+    def test_writeback_counted_for_dirty_victims(self):
+        cache = SetAssociativeCache("c", 64, 1, block_bytes=32)
+        cache.access(0, is_write=True)
+        cache.access(cache.num_sets * 32)     # evicts dirty block
+        assert cache.stats.writebacks == 1
+        assert cache.stats.evictions == 1
+
+    def test_write_no_allocate(self):
+        cache = SetAssociativeCache("c", 1024, 2, write_allocate=False)
+        cache.access(0x40, is_write=True)
+        assert cache.probe(0x40) is False
+
+    def test_state_copy_restore(self):
+        cache = SetAssociativeCache("c", 256, 2)
+        for addr in (0, 64, 128):
+            cache.access(addr)
+        saved = cache.copy_state()
+        cache.access(4096)
+        cache.flush()
+        cache.restore_state(saved)
+        assert cache.probe(0) and cache.probe(64) and cache.probe(128)
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1,
+                    max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_bounded_and_repeat_hits(self, addresses):
+        cache = SetAssociativeCache("c", 512, 2, block_bytes=32)
+        for addr in addresses:
+            cache.access(addr)
+        assert cache.resident_blocks() <= 16
+        # Re-access of the most recent address must hit.
+        assert cache.access(addresses[-1]) is True
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1,
+                    max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_stats_consistency(self, addresses):
+        cache = SetAssociativeCache("c", 256, 4, block_bytes=32)
+        for addr in addresses:
+            cache.access(addr)
+        stats = cache.stats
+        assert stats.accesses == len(addresses)
+        assert 0 <= stats.misses <= stats.accesses
+        assert stats.hits + stats.misses == stats.accesses
+
+    @given(st.integers(min_value=0, max_value=1 << 24))
+    @settings(max_examples=50, deadline=None)
+    def test_working_set_smaller_than_cache_always_hits_after_warmup(self, base):
+        cache = SetAssociativeCache("c", 1024, 2, block_bytes=32)
+        addresses = [base + i * 32 for i in range(8)]
+        for addr in addresses:
+            cache.access(addr)
+        assert all(cache.access(addr) for addr in addresses)

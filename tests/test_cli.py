@@ -1,0 +1,78 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_estimate_defaults(self):
+        args = build_parser().parse_args(["estimate", "gzip.syn"])
+        assert args.benchmark == "gzip.syn"
+        assert args.machine == "8-way"
+        assert args.metric == "cpi"
+        assert args.n_init == 300
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "not-a-benchmark"])
+
+    def test_experiment_choices_cover_all_tables_and_figures(self):
+        expected = {"table3", "table4", "table5", "table6",
+                    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"}
+        assert set(EXPERIMENTS) == expected
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip.syn" in out and "mcf.syn" in out
+
+    def test_estimate_small_run(self, capsys):
+        code = main([
+            "estimate", "gzip.syn", "--scale", "0.05", "--n-init", "40",
+            "--epsilon", "0.5", "--rounds", "1", "--unit-size", "25",
+            "--warming", "50", "--validate",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CPI estimate" in out
+        assert "confidence interval" in out
+        assert "actual error" in out
+
+    def test_estimate_epi_without_functional_warming(self, capsys):
+        code = main([
+            "estimate", "mcf.syn", "--scale", "0.03", "--metric", "epi",
+            "--n-init", "30", "--epsilon", "0.9", "--rounds", "1",
+            "--unit-size", "25", "--warming", "25", "--no-functional-warming",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EPI estimate" in out
+        assert "detailed-only" in out
+
+    def test_reference(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["reference", "gzip.syn", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CPI" in out and "instructions" in out
+
+    def test_simpoint(self, capsys):
+        code = main(["simpoint", "gzip.syn", "--scale", "0.05",
+                     "--interval-size", "1000", "--max-clusters", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CPI estimate" in out
+        assert "clusters" in out
+
+    def test_experiment_table3(self, capsys):
+        code = main(["experiment", "table3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RUU/LSQ" in out

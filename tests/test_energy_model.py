@@ -1,0 +1,89 @@
+"""Tests for the Wattch-style energy model."""
+
+import pytest
+
+from repro.config import scaled_16way, scaled_8way
+from repro.detailed import DetailedSimulator, MicroarchState, PipelineCounters
+from repro.energy import EnergyModel, EnergyParameters
+from repro.functional import FunctionalCore
+
+
+class TestEnergyParameters:
+    def test_derived_from_config(self):
+        params = EnergyParameters.from_config(scaled_8way())
+        assert params.l2 > params.l1d > 0
+        assert params.mem > params.l2
+        assert params.fpmult > params.ialu
+
+    def test_wider_machine_costs_more_per_cycle(self):
+        p8 = EnergyParameters.from_config(scaled_8way())
+        p16 = EnergyParameters.from_config(scaled_16way())
+        assert p16.clock_per_cycle > p8.clock_per_cycle
+        assert p16.l1d > p8.l1d          # larger caches cost more per access
+
+
+class TestEnergyModel:
+    def _counters(self, **overrides) -> PipelineCounters:
+        counters = PipelineCounters(
+            instructions=1000, cycles=1500, fetch_accesses=400,
+            loads=200, stores=100, l1d_accesses=300, l1d_misses=30,
+            l2_accesses=30, l2_misses=5, branches=150, mispredictions=10,
+            ialu_ops=400, imult_ops=20, fpalu_ops=50, fpmult_ops=10,
+            regfile_reads=1500, regfile_writes=800, window_inserts=1000)
+        for key, value in overrides.items():
+            setattr(counters, key, value)
+        return counters
+
+    def test_total_is_sum_of_breakdown(self):
+        model = EnergyModel(scaled_8way())
+        counters = self._counters()
+        breakdown = model.energy_breakdown(counters)
+        assert model.total_energy(counters) == pytest.approx(sum(breakdown.values()))
+
+    def test_epi_positive_and_scales_with_cycles(self):
+        model = EnergyModel(scaled_8way())
+        short = self._counters(cycles=1200)
+        long = self._counters(cycles=5000)
+        assert model.epi(short) > 0
+        assert model.epi(long) > model.epi(short)
+
+    def test_memory_misses_increase_energy(self):
+        model = EnergyModel(scaled_8way())
+        few = self._counters(l2_misses=0)
+        many = self._counters(l2_misses=25)
+        assert model.total_energy(many) > model.total_energy(few)
+
+    def test_zero_instructions(self):
+        model = EnergyModel(scaled_8way())
+        assert model.epi(PipelineCounters()) == 0.0
+
+    def test_epi_from_real_simulation(self, machine_8way, micro):
+        core = FunctionalCore(micro.program)
+        counters = DetailedSimulator(machine_8way, MicroarchState(machine_8way)) \
+            .simulate(core)
+        model = EnergyModel(machine_8way)
+        epi = model.epi(counters)
+        assert epi > 0
+        # EPI has a per-instruction floor (fetch/decode/ALU) so it cannot
+        # be arbitrarily small; and clock energy bounds it above by CPI.
+        assert 0.1 < epi < 100.0
+
+    def test_epi_variability_smaller_than_cpi_variability(self, machine_8way, micro):
+        """EPI should vary less than CPI across units (the paper observes
+        tighter EPI confidence intervals for the same sample)."""
+        core = FunctionalCore(micro.program)
+        microarch = MicroarchState(machine_8way)
+        sim = DetailedSimulator(machine_8way, microarch)
+        model = EnergyModel(machine_8way)
+        sim.begin_period()
+        cpis, epis = [], []
+        while True:
+            counters = sim.run(core, 100)
+            if counters.instructions < 100:
+                break
+            cpis.append(counters.cpi)
+            epis.append(model.epi(counters))
+        import numpy as np
+        cv_cpi = np.std(cpis) / np.mean(cpis)
+        cv_epi = np.std(epis) / np.mean(epis)
+        assert cv_epi < cv_cpi

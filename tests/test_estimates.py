@@ -1,0 +1,107 @@
+"""Tests for result dataclasses (unit records, metric estimates, run results)."""
+
+import math
+
+import pytest
+
+from repro.core.estimates import (
+    MetricEstimate,
+    ReferenceResult,
+    SmartsRunResult,
+    UnitRecord,
+)
+
+
+class TestUnitRecord:
+    def test_cpi_and_epi(self):
+        unit = UnitRecord(index=3, instructions=100, cycles=250, energy=500.0)
+        assert unit.cpi == pytest.approx(2.5)
+        assert unit.epi == pytest.approx(5.0)
+
+    def test_zero_instructions(self):
+        unit = UnitRecord(index=0, instructions=0, cycles=10, energy=1.0)
+        assert unit.cpi == 0.0
+        assert unit.epi == 0.0
+
+
+class TestMetricEstimate:
+    def test_from_values(self):
+        estimate = MetricEstimate.from_values("cpi", [1.0, 2.0, 3.0],
+                                              population_size=100)
+        assert estimate.mean == pytest.approx(2.0)
+        assert estimate.sample_size == 3
+        assert estimate.population_size == 100
+
+    def test_confidence_and_meets(self):
+        values = [1.0, 1.1, 0.9, 1.05, 0.95] * 40
+        estimate = MetricEstimate.from_values("cpi", values)
+        ci = estimate.confidence_interval(0.997)
+        assert 0 < ci < 0.05
+        assert estimate.meets(0.05, 0.997)
+        assert not estimate.meets(ci / 10, 0.997)
+        assert estimate.absolute_confidence_interval(0.997) == \
+            pytest.approx(ci * estimate.mean)
+
+
+def make_run(unit_values, unit_size=10, benchmark_length=10_000):
+    run = SmartsRunResult(
+        benchmark="bench", machine="8-way", unit_size=unit_size, interval=5,
+        offset=0, detailed_warming=20, functional_warming=True,
+        benchmark_length=benchmark_length)
+    for i, cpi in enumerate(unit_values):
+        cycles = int(round(cpi * unit_size))
+        run.units.append(UnitRecord(index=i * 5, instructions=unit_size,
+                                    cycles=cycles, energy=cycles * 2.0))
+    run.instructions_measured = unit_size * len(unit_values)
+    run.instructions_detailed_warming = 20 * len(unit_values)
+    run.instructions_fastforwarded = (
+        benchmark_length - run.instructions_measured
+        - run.instructions_detailed_warming)
+    return run
+
+
+class TestSmartsRunResult:
+    def test_cpi_estimate(self):
+        run = make_run([1.0, 2.0, 3.0, 2.0])
+        assert run.cpi.mean == pytest.approx(2.0)
+        assert run.sample_size == 4
+        assert run.population_size == 1000
+
+    def test_epi_estimate(self):
+        run = make_run([1.0, 2.0])
+        assert run.epi.mean == pytest.approx(3.0)   # energy = 2 nJ per cycle
+
+    def test_detailed_fraction(self):
+        run = make_run([1.0] * 10)
+        expected = (10 * 10 + 10 * 20) / 10_000
+        assert run.detailed_fraction == pytest.approx(expected)
+
+    def test_unit_value_arrays(self):
+        run = make_run([1.0, 2.0, 4.0])
+        assert list(run.unit_cpi_values()) == pytest.approx([1.0, 2.0, 4.0])
+        assert len(run.unit_epi_values()) == 3
+
+    def test_summary_round_trip(self):
+        run = make_run([1.5] * 5)
+        summary = run.summary()
+        assert summary["n"] == 5
+        assert summary["cpi"] == pytest.approx(1.5)
+        assert summary["functional_warming"] is True
+
+    def test_empty_run_statistics_raise(self):
+        run = make_run([])
+        with pytest.raises(ValueError):
+            _ = run.cpi
+
+
+class TestReferenceResult:
+    def test_cpi_epi(self):
+        ref = ReferenceResult(benchmark="b", machine="m", instructions=1000,
+                              cycles=2500, energy=5000.0)
+        assert ref.cpi == pytest.approx(2.5)
+        assert ref.epi == pytest.approx(5.0)
+
+    def test_zero_instruction_reference(self):
+        ref = ReferenceResult(benchmark="b", machine="m", instructions=0,
+                              cycles=0, energy=0.0)
+        assert ref.cpi == 0.0 and ref.epi == 0.0

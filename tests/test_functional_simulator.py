@@ -1,0 +1,310 @@
+"""Unit tests for the functional simulator (architectural semantics)."""
+
+import pytest
+
+from repro.functional import FunctionalCore, measure_program_length
+from repro.isa import ArchState, Opcode, ProgramBuilder
+
+
+def run_to_halt(builder: ProgramBuilder) -> FunctionalCore:
+    core = FunctionalCore(builder.build())
+    core.run_to_completion(limit=100_000)
+    return core
+
+
+class TestArithmetic:
+    def test_addi_and_add(self):
+        b = ProgramBuilder("t")
+        b.addi("r1", "r0", 5)
+        b.addi("r2", "r0", 7)
+        b.add("r3", "r1", "r2")
+        b.halt()
+        core = run_to_halt(b)
+        assert core.state.int_regs[3] == 12
+
+    def test_sub_and_logic(self):
+        b = ProgramBuilder("t")
+        b.addi("r1", "r0", 0b1100)
+        b.addi("r2", "r0", 0b1010)
+        b.sub("r3", "r1", "r2")
+        b.and_("r4", "r1", "r2")
+        b.or_("r5", "r1", "r2")
+        b.xor("r6", "r1", "r2")
+        b.halt()
+        core = run_to_halt(b)
+        assert core.state.int_regs[3] == 2
+        assert core.state.int_regs[4] == 0b1000
+        assert core.state.int_regs[5] == 0b1110
+        assert core.state.int_regs[6] == 0b0110
+
+    def test_shifts_and_compare(self):
+        b = ProgramBuilder("t")
+        b.addi("r1", "r0", 3)
+        b.addi("r2", "r0", 2)
+        b.sll("r3", "r1", "r2")
+        b.srl("r4", "r3", "r2")
+        b.slt("r5", "r2", "r1")
+        b.slti("r6", "r1", 2)
+        b.halt()
+        core = run_to_halt(b)
+        assert core.state.int_regs[3] == 12
+        assert core.state.int_regs[4] == 3
+        assert core.state.int_regs[5] == 1
+        assert core.state.int_regs[6] == 0
+
+    def test_mul_div_mod(self):
+        b = ProgramBuilder("t")
+        b.addi("r1", "r0", 17)
+        b.addi("r2", "r0", 5)
+        b.mul("r3", "r1", "r2")
+        b.div("r4", "r1", "r2")
+        b.mod("r5", "r1", "r2")
+        b.halt()
+        core = run_to_halt(b)
+        assert core.state.int_regs[3] == 85
+        assert core.state.int_regs[4] == 3
+        assert core.state.int_regs[5] == 2
+
+    def test_division_by_zero_yields_zero(self):
+        b = ProgramBuilder("t")
+        b.addi("r1", "r0", 17)
+        b.div("r3", "r1", "r0")
+        b.mod("r4", "r1", "r0")
+        b.halt()
+        core = run_to_halt(b)
+        assert core.state.int_regs[3] == 0
+        assert core.state.int_regs[4] == 0
+
+    def test_r0_is_hardwired_to_zero(self):
+        b = ProgramBuilder("t")
+        b.addi("r0", "r0", 99)
+        b.addi("r1", "r0", 1)
+        b.halt()
+        core = run_to_halt(b)
+        assert core.state.int_regs[0] == 0
+        assert core.state.int_regs[1] == 1
+
+
+class TestFloatingPoint:
+    def test_fp_pipeline(self):
+        b = ProgramBuilder("t")
+        b.addi("r1", "r0", 9)
+        b.cvtif("f1", "r1")
+        b.fsqrt("f2", "f1")
+        b.addi("r2", "r0", 2)
+        b.cvtif("f3", "r2")
+        b.fmul("f4", "f2", "f3")      # 6.0
+        b.fadd("f5", "f4", "f1")      # 15.0
+        b.fsub("f6", "f5", "f3")      # 13.0
+        b.fdiv("f7", "f6", "f3")      # 6.5
+        b.fneg("f8", "f7")            # -6.5
+        b.cvtfi("r3", "f7")
+        b.halt()
+        core = run_to_halt(b)
+        fp = core.state.fp_regs
+        assert fp[2] == pytest.approx(3.0)
+        assert fp[4] == pytest.approx(6.0)
+        assert fp[5] == pytest.approx(15.0)
+        assert fp[7] == pytest.approx(6.5)
+        assert fp[8] == pytest.approx(-6.5)
+        assert core.state.int_regs[3] == 6
+
+    def test_fdiv_by_zero_yields_zero(self):
+        b = ProgramBuilder("t")
+        b.addi("r1", "r0", 3)
+        b.cvtif("f1", "r1")
+        b.fdiv("f2", "f1", "f0")
+        b.halt()
+        core = run_to_halt(b)
+        assert core.state.fp_regs[2] == 0.0
+
+
+class TestMemory:
+    def test_load_store_roundtrip(self):
+        b = ProgramBuilder("t")
+        b.addi("r1", "r0", 0x200)
+        b.addi("r2", "r0", 42)
+        b.store("r2", "r1", 0)
+        b.load("r3", "r1", 0)
+        b.halt()
+        core = run_to_halt(b)
+        assert core.state.int_regs[3] == 42
+
+    def test_initialized_data_segment(self):
+        b = ProgramBuilder("t")
+        b.data_word(0x300, 7)
+        b.addi("r1", "r0", 0x300)
+        b.load("r2", "r1", 0)
+        b.halt()
+        core = run_to_halt(b)
+        assert core.state.int_regs[2] == 7
+
+    def test_uninitialized_memory_reads_zero(self):
+        b = ProgramBuilder("t")
+        b.addi("r1", "r0", 0x400)
+        b.load("r2", "r1", 0)
+        b.halt()
+        core = run_to_halt(b)
+        assert core.state.int_regs[2] == 0
+
+    def test_fp_load_store(self):
+        b = ProgramBuilder("t")
+        b.data_word(0x500, 2.5)
+        b.addi("r1", "r0", 0x500)
+        b.fload("f1", "r1", 0)
+        b.fadd("f2", "f1", "f1")
+        b.fstore("f2", "r1", 8)
+        b.load("r2", "r1", 8)   # integer view of the stored float
+        b.halt()
+        core = run_to_halt(b)
+        assert core.state.fp_regs[2] == pytest.approx(5.0)
+        assert core.state.memory[0x508] == pytest.approx(5.0)
+
+
+class TestControlFlow:
+    def test_counted_loop(self):
+        b = ProgramBuilder("t")
+        b.addi("r1", "r0", 10)
+        b.addi("r2", "r0", 0)
+        b.label("top")
+        b.addi("r2", "r2", 3)
+        b.addi("r1", "r1", -1)
+        b.bne("r1", "r0", "top")
+        b.halt()
+        core = run_to_halt(b)
+        assert core.state.int_regs[2] == 30
+
+    def test_branch_taken_records_dyninst(self):
+        b = ProgramBuilder("t")
+        b.addi("r1", "r0", 1)
+        b.label("skip_target")
+        b.beq("r1", "r0", "skip_target")
+        b.halt()
+        core = FunctionalCore(b.build())
+        core.step()
+        dyn = core.step()
+        assert dyn.is_branch and dyn.is_conditional
+        assert dyn.taken is False
+        assert dyn.next_pc == 2
+
+    def test_jal_and_jr_implement_call_return(self):
+        b = ProgramBuilder("t")
+        b.jump("main")
+        b.label("callee")
+        b.addi("r2", "r0", 5)
+        b.jr("r31")
+        b.label("main")
+        b.jal("r31", "callee")
+        b.addi("r3", "r2", 1)
+        b.halt()
+        core = run_to_halt(b)
+        assert core.state.int_regs[2] == 5
+        assert core.state.int_regs[3] == 6
+
+    def test_bge_and_blt(self):
+        b = ProgramBuilder("t")
+        b.addi("r1", "r0", 4)
+        b.addi("r2", "r0", 4)
+        b.addi("r3", "r0", 0)
+        b.bge("r1", "r2", "ge_taken")
+        b.addi("r3", "r3", 100)
+        b.label("ge_taken")
+        b.blt("r1", "r2", "lt_taken")
+        b.addi("r3", "r3", 1)
+        b.label("lt_taken")
+        b.halt()
+        core = run_to_halt(b)
+        assert core.state.int_regs[3] == 1
+
+
+class TestCoreBehaviour:
+    def test_halt_stops_execution(self):
+        b = ProgramBuilder("t")
+        b.halt()
+        b.addi("r1", "r0", 1)
+        core = run_to_halt(b)
+        assert core.state.int_regs[1] == 0
+        assert core.halted
+        assert core.step() is None
+
+    def test_running_off_the_end_halts(self):
+        b = ProgramBuilder("t")
+        b.nop()
+        core = FunctionalCore(b.build())
+        assert core.step() is not None
+        assert core.step() is None
+        assert core.halted
+
+    def test_dyninst_sequence_numbers(self):
+        b = ProgramBuilder("t")
+        b.addi("r1", "r0", 1)
+        b.addi("r2", "r0", 2)
+        b.halt()
+        core = FunctionalCore(b.build())
+        assert core.step().seq == 0
+        assert core.step().seq == 1
+
+    def test_run_callback_sees_every_instruction(self):
+        b = ProgramBuilder("t")
+        for _ in range(5):
+            b.nop()
+        b.halt()
+        seen = []
+        core = FunctionalCore(b.build())
+        executed = core.run(100, seen.append)
+        assert executed == 6
+        assert len(seen) == 6
+
+    def test_max_instructions_limit(self):
+        b = ProgramBuilder("t")
+        b.addi("r1", "r0", 1)
+        b.label("spin")
+        b.jump("spin")
+        core = FunctionalCore(b.build(), max_instructions=50)
+        executed = core.run_to_completion()
+        assert executed == 50
+        assert core.halted
+
+    def test_measure_program_length_matches_manual_count(self, micro):
+        length = measure_program_length(micro.program)
+        core = FunctionalCore(micro.program)
+        assert core.run_to_completion() == length
+
+    def test_measure_program_length_raises_on_nonterminating(self):
+        b = ProgramBuilder("t")
+        b.label("spin")
+        b.jump("spin")
+        with pytest.raises(RuntimeError):
+            measure_program_length(b.build(), limit=1000)
+
+    def test_determinism(self, micro):
+        first = FunctionalCore(micro.program)
+        second = FunctionalCore(micro.program)
+        first.run_to_completion()
+        second.run_to_completion()
+        assert first.state == second.state
+        assert first.instructions_retired == second.instructions_retired
+
+
+class TestArchState:
+    def test_align(self):
+        assert ArchState.align(0) == 0
+        assert ArchState.align(13) == 8
+        assert ArchState.align(16) == 16
+
+    def test_copy_is_independent(self):
+        state = ArchState()
+        state.write_reg(3, 7)
+        state.store_word(0x10, 9)
+        clone = state.copy()
+        clone.write_reg(3, 8)
+        clone.store_word(0x10, 1)
+        assert state.read_reg(3) == 7
+        assert state.load_word(0x10) == 9
+        assert state != clone
+
+    def test_fp_register_flat_namespace(self):
+        state = ArchState()
+        state.write_reg(33, 2.5)
+        assert state.fp_regs[1] == pytest.approx(2.5)
+        assert state.read_reg(33) == pytest.approx(2.5)

@@ -1,0 +1,115 @@
+"""Tests for functional warming and mode interaction.
+
+Functional warming is the heart of SMARTS' accuracy story: caches, TLBs
+and branch predictors must track the full instruction stream even while
+the pipeline is being fast-forwarded, so that each measured sampling
+unit starts from (nearly) correct long-history state.
+"""
+
+import pytest
+
+from repro.detailed import DetailedSimulator, MicroarchState
+from repro.functional import FunctionalCore, FunctionalWarmer
+from repro.functional.warming import WARMING_OVERHEAD
+from repro.isa import ProgramBuilder
+
+
+class TestFunctionalWarmer:
+    def test_warms_data_cache(self, machine_8way):
+        b = ProgramBuilder("warm")
+        b.data_word(0x3000, 5)
+        b.addi("r1", "r0", 0x3000)
+        b.load("r2", "r1", 0)
+        b.halt()
+        core = FunctionalCore(b.build())
+        microarch = MicroarchState(machine_8way)
+        warmer = FunctionalWarmer(microarch)
+        core.run(10, warmer)
+        assert microarch.hierarchy.l1d.probe(0x3000) is True
+        assert warmer.instructions_warmed == 3  # addi, load, halt
+
+    def test_warms_instruction_cache(self, machine_8way, micro):
+        core = FunctionalCore(micro.program)
+        microarch = MicroarchState(machine_8way)
+        warmer = FunctionalWarmer(microarch)
+        core.run(1000, warmer)
+        assert microarch.hierarchy.l1i.stats.accesses == 1000
+        assert microarch.hierarchy.l1i.resident_blocks() > 0
+
+    def test_warms_branch_predictor(self, machine_8way):
+        b = ProgramBuilder("warm")
+        b.addi("r1", "r0", 50)
+        b.label("top")
+        b.addi("r1", "r1", -1)
+        b.bne("r1", "r0", "top")
+        b.halt()
+        core = FunctionalCore(b.build())
+        microarch = MicroarchState(machine_8way)
+        warmer = FunctionalWarmer(microarch)
+        core.run(1000, warmer)
+        # The loop branch should now be strongly predicted taken.
+        assert microarch.branch_unit.predictor.predict(2) is True
+        # BTB knows the loop target.
+        assert microarch.branch_unit.btb.lookup(2) == 1
+
+    def test_warming_overhead_constant_matches_paper(self):
+        assert WARMING_OVERHEAD == pytest.approx(0.75)
+
+
+class TestModeInteraction:
+    def test_warmed_state_reduces_misses_in_detailed_mode(self, machine_8way, micro):
+        """A detailed run that starts after functional warming should see
+        far fewer cold misses than one starting from cold state."""
+        skip = 5000
+        measure = 1000
+
+        # Cold: fast-forward without warming, then simulate in detail.
+        core_cold = FunctionalCore(micro.program)
+        core_cold.run(skip)
+        cold_state = MicroarchState(machine_8way)
+        cold_counters = DetailedSimulator(machine_8way, cold_state) \
+            .simulate(core_cold, measure)
+
+        # Warm: fast-forward with functional warming over the same stream.
+        core_warm = FunctionalCore(micro.program)
+        warm_state = MicroarchState(machine_8way)
+        core_warm.run(skip, FunctionalWarmer(warm_state))
+        warm_counters = DetailedSimulator(machine_8way, warm_state) \
+            .simulate(core_warm, measure)
+
+        assert warm_counters.l1d_misses <= cold_counters.l1d_misses
+        assert warm_counters.mispredictions <= cold_counters.mispredictions
+
+    def test_warming_matches_detailed_cache_contents_approximately(
+            self, machine_8way, micro):
+        """Functional warming and detailed simulation of the same stream
+        should leave the caches with similar miss statistics (the paper's
+        premise that in-order warming is a good proxy)."""
+        count = 4000
+
+        core_a = FunctionalCore(micro.program)
+        state_a = MicroarchState(machine_8way)
+        core_a.run(count, FunctionalWarmer(state_a))
+
+        core_b = FunctionalCore(micro.program)
+        state_b = MicroarchState(machine_8way)
+        DetailedSimulator(machine_8way, state_b).simulate(core_b, count)
+
+        rate_a = state_a.hierarchy.l1d.stats.miss_rate
+        rate_b = state_b.hierarchy.l1d.stats.miss_rate
+        assert rate_a == pytest.approx(rate_b, abs=0.05)
+
+    def test_microarch_state_flush(self, machine_8way, micro):
+        core = FunctionalCore(micro.program)
+        microarch = MicroarchState(machine_8way)
+        core.run(2000, FunctionalWarmer(microarch))
+        assert microarch.hierarchy.l1d.resident_blocks() > 0
+        microarch.flush()
+        assert microarch.hierarchy.l1d.resident_blocks() == 0
+        assert microarch.branch_unit.branches == 0
+
+    def test_stats_summary_keys(self, machine_8way):
+        microarch = MicroarchState(machine_8way)
+        summary = microarch.stats_summary()
+        assert "l1d_miss_rate" in summary
+        assert "branch_misprediction_rate" in summary

@@ -1,0 +1,86 @@
+"""Tests for the bias-measurement harness and the report formatting."""
+
+import pytest
+
+from repro.harness.bias import measure_bias, required_detailed_warming
+from repro.harness.reporting import format_table, percent, unsigned_percent
+
+
+class TestBiasMeasurement:
+    def test_functional_warming_bias_is_small(self, micro, machine_8way,
+                                              micro_reference):
+        measurement = measure_bias(
+            micro.program, machine_8way, micro_reference,
+            unit_size=25, target_sample_size=100,
+            detailed_warming=100, functional_warming=True, phases=2)
+        assert len(measurement.phase_errors) == 2
+        assert abs(measurement.bias) < 0.05
+        assert measurement.true_value == pytest.approx(micro_reference.cpi)
+
+    def test_no_warming_bias_is_larger(self, micro, machine_8way,
+                                       micro_reference):
+        warmed = measure_bias(
+            micro.program, machine_8way, micro_reference,
+            unit_size=25, target_sample_size=100,
+            detailed_warming=100, functional_warming=True, phases=2)
+        cold = measure_bias(
+            micro.program, machine_8way, micro_reference,
+            unit_size=25, target_sample_size=100,
+            detailed_warming=0, functional_warming=False, phases=2)
+        assert abs(cold.bias) >= abs(warmed.bias)
+
+    def test_total_error_tracked_separately(self, micro, machine_8way,
+                                            micro_reference):
+        measurement = measure_bias(
+            micro.program, machine_8way, micro_reference,
+            unit_size=25, target_sample_size=50,
+            detailed_warming=100, functional_warming=True, phases=2)
+        assert len(measurement.phase_total_errors) == 2
+        # Total error includes sampling error so it is generally at least
+        # as large in magnitude as the isolated measurement bias.
+        assert abs(measurement.total_error) + 1e-9 >= 0
+
+    def test_epi_bias_measurement(self, micro, machine_8way, micro_reference):
+        measurement = measure_bias(
+            micro.program, machine_8way, micro_reference,
+            unit_size=25, target_sample_size=50,
+            detailed_warming=100, functional_warming=True, phases=2,
+            metric="epi")
+        assert abs(measurement.bias) < 0.1
+
+    def test_required_detailed_warming_sweep(self, micro, machine_8way,
+                                             micro_reference):
+        required, biases = required_detailed_warming(
+            micro.program, machine_8way, micro_reference,
+            unit_size=25, target_sample_size=100,
+            warming_values=[0, 200], bias_threshold=0.05, phases=2)
+        assert set(biases) <= {0, 200}
+        if required is not None:
+            assert abs(biases[required]) < 0.05
+        else:
+            assert all(abs(b) >= 0.05 for b in biases.values())
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["a", 1.0], ["long-name", 123456.0]],
+            title="Demo")
+        lines = table.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[2]
+        # All data lines have the same column start for the second field.
+        header_pos = lines[2].index("value")
+        assert lines[4][header_pos - 2:].strip()
+
+    def test_format_table_number_rendering(self):
+        table = format_table(["x"], [[0.1234567], [1234.5], [3.14159]])
+        assert "0.1235" in table
+        assert "1,234" in table or "1,235" in table
+        assert "3.142" in table
+
+    def test_percent_helpers(self):
+        assert percent(0.0123) == "+1.23%"
+        assert percent(-0.5, digits=1) == "-50.0%"
+        assert unsigned_percent(0.0123) == "1.23%"

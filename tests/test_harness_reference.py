@@ -1,0 +1,127 @@
+"""Tests for the reference-run harness, CV analysis, and rate measurement."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import required_sample_size
+from repro.harness.cv_analysis import (
+    FIGURE3_TARGETS,
+    ConfidenceTarget,
+    cv_versus_unit_size,
+    default_unit_sizes,
+    minimum_measured_instructions,
+    population_homogeneity,
+    true_mean,
+)
+from repro.harness.reference import run_reference, unit_cpi_trace, unit_epi_trace
+from repro.harness.runtime import measure_rates
+
+
+class TestReferenceRun:
+    def test_totals_consistent_with_chunks(self, micro_reference):
+        ref = micro_reference
+        assert ref.instructions > 0
+        assert ref.chunk_cycles.sum() <= ref.cycles
+        assert len(ref.chunk_cycles) == ref.instructions // ref.chunk_size
+        assert len(ref.chunk_energy) == len(ref.chunk_cycles)
+        assert ref.cpi > 0 and ref.epi > 0
+
+    def test_unit_trace_aggregation(self, micro_reference):
+        fine = unit_cpi_trace(micro_reference, 25)
+        coarse = unit_cpi_trace(micro_reference, 100)
+        assert len(coarse) == len(fine) // 4
+        # Aggregating four fine units must equal one coarse unit exactly.
+        regrouped = fine[:len(coarse) * 4].reshape(-1, 4).mean(axis=1)
+        assert np.allclose(regrouped, coarse)
+
+    def test_unit_trace_requires_multiple_of_chunk(self, micro_reference):
+        with pytest.raises(ValueError):
+            unit_cpi_trace(micro_reference, 30)
+
+    def test_epi_trace(self, micro_reference):
+        trace = unit_epi_trace(micro_reference, 50)
+        assert (trace > 0).all()
+
+    def test_mean_of_trace_close_to_full_stream_value(self, micro_reference):
+        trace = unit_cpi_trace(micro_reference, 25)
+        assert trace.mean() == pytest.approx(micro_reference.cpi, rel=0.02)
+
+    def test_disk_cache_round_trip(self, micro, machine_8way, tmp_path):
+        first = run_reference(micro.program, machine_8way, chunk_size=50,
+                              use_cache=True, cache_dir=tmp_path)
+        assert any(tmp_path.iterdir())
+        second = run_reference(micro.program, machine_8way, chunk_size=50,
+                               use_cache=True, cache_dir=tmp_path)
+        assert second.instructions == first.instructions
+        assert second.cycles == first.cycles
+        assert np.array_equal(second.chunk_cycles, first.chunk_cycles)
+
+
+class TestCVAnalysis:
+    def test_default_unit_sizes_are_geometric(self, micro_reference):
+        sizes = default_unit_sizes(micro_reference)
+        assert sizes[0] == micro_reference.chunk_size
+        for a, b in zip(sizes, sizes[1:]):
+            assert b == 2 * a
+
+    def test_cv_decreases_with_unit_size(self, micro_reference):
+        """Figure 2's qualitative shape: V_CPI is non-increasing (up to
+        small estimation noise) as units grow."""
+        curve = cv_versus_unit_size(micro_reference)
+        sizes = sorted(curve)
+        assert curve[sizes[0]] > 0
+        assert curve[sizes[-1]] <= curve[sizes[0]] * 1.05
+
+    def test_minimum_measured_instructions_ordering(self, micro_reference):
+        """Figure 3: tighter intervals and higher confidence need more
+        measured instructions."""
+        results = minimum_measured_instructions(micro_reference, unit_size=25)
+        def measured(eps, conf):
+            return results[ConfidenceTarget(eps, conf)]["measured_instructions"]
+        assert measured(0.01, 0.997) > measured(0.03, 0.997)
+        assert measured(0.03, 0.997) > measured(0.03, 0.95)
+        for info in results.values():
+            assert 0 < info["fraction_of_benchmark"] <= 1.0
+
+    def test_minimum_instructions_uses_fpc(self, micro_reference):
+        with_fpc = minimum_measured_instructions(micro_reference, 25,
+                                                 use_fpc=True)
+        without = minimum_measured_instructions(micro_reference, 25,
+                                                use_fpc=False)
+        target = FIGURE3_TARGETS[3]     # ±1% at 99.7%, the most demanding
+        assert with_fpc[target]["sample_size"] <= without[target]["sample_size"]
+
+    def test_required_sample_size_consistency(self, micro_reference):
+        curve = cv_versus_unit_size(micro_reference, [25])
+        cv = curve[25]
+        population = micro_reference.instructions // 25
+        n = required_sample_size(cv, 0.03, 0.997, population_size=population)
+        results = minimum_measured_instructions(micro_reference, 25)
+        assert results[ConfidenceTarget(0.03, 0.997)]["sample_size"] == n
+
+    def test_true_mean(self, micro_reference):
+        assert true_mean(micro_reference, "cpi") == micro_reference.cpi
+        assert true_mean(micro_reference, "epi") == micro_reference.epi
+
+    def test_population_homogeneity_is_small(self, micro_reference):
+        """The paper verifies that benchmarks show negligible homogeneity
+        at sampling periodicities, so systematic ~ random sampling."""
+        delta = population_homogeneity(micro_reference, unit_size=25,
+                                       interval=8)
+        assert abs(delta) < 0.5
+
+
+class TestRateMeasurement:
+    def test_rates_ordering(self, micro, machine_8way):
+        rates = measure_rates(micro.program, machine_8way, instructions=5000)
+        assert rates.functional_ips > 0
+        assert rates.detailed_ips > 0
+        # Detailed simulation must be slower than functional simulation.
+        assert rates.s_detailed < 1.0
+        assert 0 < rates.s_warming <= 1.5
+        converted = rates.to_simulator_rates()
+        assert 0 < converted.s_detailed <= 1.0
+
+    def test_invalid_instruction_count(self, micro, machine_8way):
+        with pytest.raises(ValueError):
+            measure_rates(micro.program, machine_8way, instructions=0)

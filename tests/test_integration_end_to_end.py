@@ -1,0 +1,111 @@
+"""End-to-end integration tests across the full stack.
+
+These exercise the complete flow a user of the library follows: build a
+suite benchmark, obtain ground truth via the reference harness, estimate
+CPI/EPI with the SMARTS procedure, and compare against SimPoint — all at
+a very small scale so the tests stay fast.
+"""
+
+import pytest
+
+from repro import (
+    estimate_metric,
+    get_benchmark,
+    measure_program_length,
+    recommended_warming,
+    run_reference,
+    run_simpoint,
+    scaled_8way,
+)
+from repro.core.stats import CONFIDENCE_997
+
+
+@pytest.fixture(scope="module")
+def small_suite_benchmark():
+    """A real suite benchmark at a very small scale (~30-60k instructions)."""
+    return get_benchmark("gzip.syn", scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def small_reference(small_suite_benchmark):
+    return run_reference(small_suite_benchmark.program, scaled_8way(),
+                         chunk_size=25, use_cache=False)
+
+
+class TestEndToEnd:
+    def test_reference_and_length_agree(self, small_suite_benchmark,
+                                        small_reference):
+        length = measure_program_length(small_suite_benchmark.program)
+        assert length == small_reference.instructions
+
+    def test_smarts_cpi_estimate_within_confidence(self, small_suite_benchmark,
+                                                   small_reference):
+        machine = scaled_8way()
+        result = estimate_metric(
+            small_suite_benchmark.program, machine, metric="cpi",
+            unit_size=50, detailed_warming=recommended_warming(machine),
+            n_init=150, epsilon=0.10, confidence=CONFIDENCE_997,
+            max_rounds=2, benchmark_length=small_reference.instructions)
+        error = abs(result.estimate.mean - small_reference.cpi) \
+            / small_reference.cpi
+        # The actual error should lie well within the reported confidence
+        # interval (plus the ~2% warming-bias allowance the paper adds).
+        assert error < result.confidence_interval + 0.02
+
+    def test_smarts_epi_estimate(self, small_suite_benchmark, small_reference):
+        machine = scaled_8way()
+        result = estimate_metric(
+            small_suite_benchmark.program, machine, metric="epi",
+            unit_size=50, detailed_warming=recommended_warming(machine),
+            n_init=150, epsilon=0.10, max_rounds=1,
+            benchmark_length=small_reference.instructions)
+        error = abs(result.estimate.mean - small_reference.epi) \
+            / small_reference.epi
+        assert error < result.confidence_interval + 0.02
+
+    def test_smarts_measures_small_fraction(self, small_suite_benchmark,
+                                            small_reference):
+        machine = scaled_8way()
+        result = estimate_metric(
+            small_suite_benchmark.program, machine, metric="cpi",
+            unit_size=50, detailed_warming=64,
+            n_init=60, epsilon=0.5, max_rounds=1,
+            benchmark_length=small_reference.instructions)
+        measured_fraction = (result.final_run.instructions_measured
+                             / small_reference.instructions)
+        assert measured_fraction < 0.25
+        assert result.final_run.detailed_fraction < 0.75
+        assert result.final_run.instructions_fastforwarded > 0
+
+    def test_simpoint_vs_smarts_comparison(self, small_suite_benchmark,
+                                           small_reference):
+        """The Figure 8 comparison at miniature scale: SMARTS should be at
+        least as accurate as SimPoint on this benchmark."""
+        machine = scaled_8way()
+        smarts = estimate_metric(
+            small_suite_benchmark.program, machine, metric="cpi",
+            unit_size=50, detailed_warming=recommended_warming(machine),
+            n_init=150, epsilon=0.10, max_rounds=2,
+            benchmark_length=small_reference.instructions)
+        simpoint = run_simpoint(small_suite_benchmark.program, machine,
+                                interval_size=2500, max_clusters=6)
+        smarts_error = abs(smarts.estimate.mean - small_reference.cpi) \
+            / small_reference.cpi
+        simpoint_error = abs(simpoint.cpi - small_reference.cpi) \
+            / small_reference.cpi
+        assert smarts_error <= simpoint_error + 0.05
+        # And unlike SimPoint, SMARTS reports a confidence interval.
+        assert smarts.confidence_interval > 0
+
+    def test_16way_configuration_end_to_end(self, small_suite_benchmark):
+        from repro import scaled_16way
+        machine = scaled_16way()
+        reference = run_reference(small_suite_benchmark.program, machine,
+                                  chunk_size=25, use_cache=False)
+        result = estimate_metric(
+            small_suite_benchmark.program, machine, metric="cpi",
+            unit_size=50, detailed_warming=recommended_warming(machine),
+            n_init=150, epsilon=0.15, max_rounds=1,
+            benchmark_length=reference.instructions)
+        error = abs(result.estimate.mean - reference.cpi) / reference.cpi
+        assert error < result.confidence_interval + 0.03

@@ -1,0 +1,132 @@
+"""Unit tests for the program builder and finalized programs."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode, Program, ProgramBuilder, ProgramError
+from repro.isa.builder import resolve_register
+
+
+class TestResolveRegister:
+    def test_integer_names(self):
+        assert resolve_register("r0") == 0
+        assert resolve_register("r17") == 17
+
+    def test_fp_names(self):
+        assert resolve_register("f0") == 32
+        assert resolve_register("f3") == 35
+
+    def test_passthrough_int(self):
+        assert resolve_register(12) == 12
+
+    @pytest.mark.parametrize("bad", ["x3", "r", "rx", "", "f-1"])
+    def test_bad_names(self, bad):
+        with pytest.raises(ValueError):
+            resolve_register(bad)
+
+
+class TestProgramBuilder:
+    def test_label_resolution(self):
+        b = ProgramBuilder("loop")
+        b.addi("r1", "r0", 3)
+        b.label("top")
+        b.addi("r1", "r1", -1)
+        b.bne("r1", "r0", "top")
+        b.halt()
+        program = b.build()
+        branch = program.instructions[2]
+        assert branch.target == 1  # resolved to the label's index
+
+    def test_undefined_label_raises(self):
+        b = ProgramBuilder("bad")
+        b.jump("nowhere")
+        b.halt()
+        with pytest.raises(ProgramError):
+            b.build()
+
+    def test_duplicate_label_raises(self):
+        b = ProgramBuilder("bad")
+        b.label("x")
+        b.nop()
+        with pytest.raises(ProgramError):
+            b.label("x")
+
+    def test_set_entry(self):
+        b = ProgramBuilder("entry")
+        b.nop()
+        b.label("main")
+        b.halt()
+        b.set_entry("main")
+        program = b.build()
+        assert program.entry == 1
+
+    def test_set_entry_undefined_label(self):
+        b = ProgramBuilder("entry")
+        b.nop()
+        b.halt()
+        b.set_entry("missing")
+        with pytest.raises(ProgramError):
+            b.build()
+
+    def test_data_block_layout(self):
+        b = ProgramBuilder("data")
+        b.data_block(0x100, [1, 2, 3])
+        b.halt()
+        program = b.build()
+        assert program.data == {0x100: 1, 0x108: 2, 0x110: 3}
+
+    def test_emitted_instruction_indices(self):
+        b = ProgramBuilder("idx")
+        assert b.next_index == 0
+        first = b.addi("r1", "r0", 1)
+        second = b.nop()
+        assert (first, second) == (0, 1)
+
+
+class TestProgram:
+    def _simple(self):
+        return [
+            Instruction(Opcode.ADDI, rd=1, rs1=0, imm=1),
+            Instruction(Opcode.BNE, rs1=1, rs2=0, target=0),
+            Instruction(Opcode.HALT),
+        ]
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            Program(name="empty", instructions=[])
+
+    def test_bad_entry_rejected(self):
+        with pytest.raises(ProgramError):
+            Program(name="bad", instructions=self._simple(), entry=99)
+
+    def test_unresolved_target_rejected(self):
+        instructions = [Instruction(Opcode.JUMP, target="label"),
+                        Instruction(Opcode.HALT)]
+        with pytest.raises(ProgramError):
+            Program(name="bad", instructions=instructions)
+
+    def test_out_of_range_target_rejected(self):
+        instructions = [Instruction(Opcode.JUMP, target=9),
+                        Instruction(Opcode.HALT)]
+        with pytest.raises(ProgramError):
+            Program(name="bad", instructions=instructions)
+
+    def test_basic_block_leaders(self):
+        program = Program(name="bb", instructions=self._simple())
+        # Entry (0), branch target (0), instruction after branch (2).
+        assert program.basic_block_leaders() == [0, 2]
+
+    def test_basic_block_map_is_dense(self):
+        program = Program(name="bb", instructions=self._simple())
+        block_of = program.basic_block_map()
+        assert set(block_of) == {0, 1, 2}
+        assert block_of[0] == block_of[1]
+        assert block_of[2] == block_of[1] + 1
+
+    def test_describe_mentions_name(self):
+        program = Program(name="bb", instructions=self._simple())
+        assert "bb" in program.describe()
+
+    def test_len(self):
+        program = Program(name="bb", instructions=self._simple())
+        assert len(program) == 3
+        assert program.static_size == 3

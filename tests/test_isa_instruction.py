@@ -1,0 +1,109 @@
+"""Unit tests for static instructions, registers, and instruction mixes."""
+
+import pytest
+
+from repro.isa import (
+    FP_REG_BASE,
+    Instruction,
+    InstructionMix,
+    OpClass,
+    Opcode,
+    fp_reg,
+    int_reg,
+    op_class,
+)
+
+
+class TestRegisterHelpers:
+    def test_int_reg_identity(self):
+        assert int_reg(0) == 0
+        assert int_reg(31) == 31
+
+    def test_fp_reg_offset(self):
+        assert fp_reg(0) == FP_REG_BASE
+        assert fp_reg(5) == FP_REG_BASE + 5
+
+    def test_int_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_reg(32)
+        with pytest.raises(ValueError):
+            int_reg(-1)
+
+    def test_fp_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            fp_reg(64)
+
+
+class TestOpcodeClassification:
+    def test_every_opcode_has_a_class(self):
+        for op in Opcode:
+            assert isinstance(op_class(op), OpClass)
+
+    def test_alu_classification(self):
+        assert op_class(Opcode.ADD) == OpClass.IALU
+        assert op_class(Opcode.MUL) == OpClass.IMULT
+        assert op_class(Opcode.FADD) == OpClass.FPALU
+        assert op_class(Opcode.FDIV) == OpClass.FPMULT
+
+    def test_memory_classification(self):
+        assert op_class(Opcode.LOAD) == OpClass.LOAD
+        assert op_class(Opcode.FSTORE) == OpClass.STORE
+
+    def test_branch_classification(self):
+        for op in (Opcode.BEQ, Opcode.JUMP, Opcode.JAL, Opcode.JR):
+            assert op_class(op) == OpClass.BRANCH
+
+
+class TestInstruction:
+    def test_alu_properties(self):
+        inst = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+        assert inst.opclass == OpClass.IALU
+        assert not inst.is_branch
+        assert not inst.is_mem
+        assert inst.source_regs() == (2, 3)
+
+    def test_load_properties(self):
+        inst = Instruction(Opcode.LOAD, rd=1, rs1=2, imm=8)
+        assert inst.is_load and not inst.is_store and inst.is_mem
+        assert inst.source_regs() == (2,)
+
+    def test_store_properties(self):
+        inst = Instruction(Opcode.STORE, rs1=2, rs2=3, imm=0)
+        assert inst.is_store and not inst.is_load and inst.is_mem
+        assert inst.source_regs() == (2, 3)
+
+    def test_conditional_branch_properties(self):
+        inst = Instruction(Opcode.BNE, rs1=1, rs2=0, target=5)
+        assert inst.is_branch and inst.is_conditional
+
+    def test_unconditional_branch_properties(self):
+        inst = Instruction(Opcode.JUMP, target=3)
+        assert inst.is_branch and not inst.is_conditional
+
+    def test_instruction_is_frozen(self):
+        inst = Instruction(Opcode.NOP)
+        with pytest.raises(AttributeError):
+            inst.op = Opcode.ADD  # type: ignore[misc]
+
+
+class TestInstructionMix:
+    def test_empty_mix(self):
+        mix = InstructionMix()
+        assert mix.total == 0
+        assert mix.fraction(OpClass.IALU) == 0.0
+
+    def test_record_and_fractions(self):
+        mix = InstructionMix()
+        for _ in range(3):
+            mix.record(OpClass.IALU)
+        mix.record(OpClass.LOAD)
+        assert mix.total == 4
+        assert mix.fraction(OpClass.IALU) == pytest.approx(0.75)
+        assert mix.fraction(OpClass.LOAD) == pytest.approx(0.25)
+
+    def test_as_dict_keys(self):
+        mix = InstructionMix()
+        mix.record(OpClass.BRANCH)
+        d = mix.as_dict()
+        assert set(d) == {cls.name for cls in OpClass}
+        assert d["BRANCH"] == pytest.approx(1.0)

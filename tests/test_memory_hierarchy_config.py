@@ -1,0 +1,121 @@
+"""Tests for the memory hierarchy and the machine configurations (Table 3)."""
+
+import pytest
+
+from repro.config import (
+    CONFIGURATIONS,
+    get_config,
+    scaled_16way,
+    scaled_8way,
+    table3_16way,
+    table3_8way,
+)
+from repro.isa.opcodes import OpClass, Opcode
+from repro.memory import L1, L2, MEM, MemoryHierarchy
+
+
+class TestMemoryHierarchy:
+    def make(self):
+        return MemoryHierarchy(scaled_8way())
+
+    def test_cold_access_goes_to_memory(self):
+        hierarchy = self.make()
+        result = hierarchy.access_data(0x1000)
+        assert result.level == MEM
+        assert result.tlb_miss is True
+
+    def test_second_access_hits_l1(self):
+        hierarchy = self.make()
+        hierarchy.access_data(0x1000)
+        result = hierarchy.access_data(0x1000)
+        assert result.level == L1
+        assert result.tlb_miss is False
+
+    def test_l1_victim_still_hits_in_l2(self):
+        config = scaled_8way()
+        hierarchy = MemoryHierarchy(config)
+        l1_blocks = config.l1d.size_bytes // config.l1d.block_bytes
+        # Touch enough distinct blocks to overflow L1 but not L2.
+        addresses = [i * config.l1d.block_bytes for i in range(l1_blocks * 2)]
+        for addr in addresses:
+            hierarchy.access_data(addr)
+        result = hierarchy.access_data(addresses[0])
+        assert result.level in (L1, L2)
+        assert result.level == L2  # evicted from L1, resident in L2
+
+    def test_instruction_side_separate_from_data_side(self):
+        hierarchy = self.make()
+        hierarchy.access_instruction(0x2000)
+        result = hierarchy.access_data(0x2000)
+        assert result.level != L1   # data access does not hit in L1I
+
+    def test_latency_mapping(self):
+        config = scaled_8way()
+        hierarchy = MemoryHierarchy(config)
+        from repro.memory.hierarchy import AccessResult
+        assert hierarchy.latency(AccessResult(L1, False)) == config.l1_latency
+        assert hierarchy.latency(AccessResult(L2, False)) == config.l2_latency
+        assert hierarchy.latency(AccessResult(MEM, False)) == config.mem_latency
+        assert hierarchy.latency(AccessResult(L1, True)) == (
+            config.l1_latency + config.tlb_miss_latency)
+
+    def test_flush_and_stats(self):
+        hierarchy = self.make()
+        hierarchy.access_data(0x1000)
+        hierarchy.access_data(0x1000)
+        summary = hierarchy.stats_summary()
+        assert summary["l1d_accesses"] == 2
+        assert 0 < summary["l1d_miss_rate"] < 1
+        hierarchy.flush()
+        assert hierarchy.access_data(0x1000).level == MEM
+
+
+class TestMachineConfigs:
+    def test_table3_8way_parameters(self):
+        config = table3_8way()
+        assert config.ruu_size == 128 and config.lsq_size == 64
+        assert config.l1d.size_bytes == 32 * 1024 and config.l1d.assoc == 2
+        assert config.l2.size_bytes == 1024 * 1024 and config.l2.assoc == 4
+        assert config.store_buffer_entries == 16
+        assert (config.l1_latency, config.l2_latency, config.mem_latency) == (1, 12, 100)
+        assert config.fu_counts[OpClass.IALU] == 4
+        assert config.branch.mispredict_penalty == 7
+
+    def test_table3_16way_doubles_resources(self):
+        eight, sixteen = table3_8way(), table3_16way()
+        assert sixteen.ruu_size == 2 * eight.ruu_size
+        assert sixteen.lsq_size == 2 * eight.lsq_size
+        assert sixteen.l1d.size_bytes == 2 * eight.l1d.size_bytes
+        assert sixteen.l2.size_bytes == 2 * eight.l2.size_bytes
+        assert sixteen.store_buffer_entries == 2 * eight.store_buffer_entries
+        assert sixteen.fu_counts[OpClass.IALU] == 16
+        assert sixteen.branch.mispredict_penalty == 10
+
+    def test_scaled_configs_preserve_ratios(self):
+        eight, sixteen = scaled_8way(), scaled_16way()
+        assert sixteen.l1d.size_bytes == 2 * eight.l1d.size_bytes
+        assert sixteen.l2.size_bytes == 2 * eight.l2.size_bytes
+        assert sixteen.ruu_size == 2 * eight.ruu_size
+        # Scaled caches are much smaller than the paper's.
+        assert eight.l1d.size_bytes < table3_8way().l1d.size_bytes
+
+    def test_exec_latency_overrides(self):
+        config = scaled_8way()
+        assert config.exec_latency(Opcode.ADD, OpClass.IALU) == 1
+        assert config.exec_latency(Opcode.DIV, OpClass.IMULT) > \
+            config.exec_latency(Opcode.MUL, OpClass.IMULT)
+        assert config.exec_latency(Opcode.FDIV, OpClass.FPMULT) > \
+            config.exec_latency(Opcode.FMUL, OpClass.FPMULT)
+
+    def test_describe_contains_table3_rows(self):
+        rows = table3_8way().describe()
+        assert rows["RUU/LSQ"] == "128/64"
+        assert "MSHR" in rows["L1 I/D"]
+        assert "Combined" in rows["Branch predictor"]
+
+    def test_registry(self):
+        assert set(CONFIGURATIONS) == {"8-way", "16-way", "8-way-scaled",
+                                       "16-way-scaled"}
+        assert get_config("8-way").name == "8-way"
+        with pytest.raises(KeyError):
+            get_config("32-way")

@@ -1,0 +1,146 @@
+"""Tests for the analytical simulation-speed model (Section 3.4)."""
+
+import pytest
+
+from repro.core.perf_model import (
+    PAPER_SD_FUTURE,
+    PAPER_SD_TODAY,
+    PAPER_SFW,
+    SamplingWorkload,
+    SimulatorRates,
+    detailed_runtime_seconds,
+    effective_mips,
+    effective_rate,
+    functional_runtime_seconds,
+    optimal_unit_size,
+    paper_rate,
+    rate_versus_warming,
+    runtime_seconds,
+    speedup_over_detailed,
+)
+
+
+def paper_workload(warming=2000, sample_size=10_000, unit_size=1000,
+                   length=50_000_000_000):
+    return SamplingWorkload(benchmark_length=length, sample_size=sample_size,
+                            unit_size=unit_size, detailed_warming=warming)
+
+
+class TestSimulatorRates:
+    def test_paper_rates(self):
+        rates = SimulatorRates.paper()
+        assert rates.s_detailed == pytest.approx(1 / 60)
+        assert rates.s_warming == pytest.approx(0.55)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatorRates(functional_ips=0, s_detailed=0.5, s_warming=0.5)
+        with pytest.raises(ValueError):
+            SimulatorRates(functional_ips=1e6, s_detailed=1.5, s_warming=0.5)
+        with pytest.raises(ValueError):
+            SimulatorRates(functional_ips=1e6, s_detailed=0.5, s_warming=0.0)
+
+
+class TestSamplingWorkload:
+    def test_instruction_accounting(self):
+        workload = paper_workload()
+        assert workload.detailed_instructions == 10_000 * 3000
+        assert workload.fastforward_instructions == \
+            workload.benchmark_length - workload.detailed_instructions
+        assert 0 < workload.detailed_fraction < 1
+
+    def test_fraction_capped_at_one(self):
+        workload = SamplingWorkload(1000, 100, 50, 50)
+        assert workload.detailed_fraction == 1.0
+
+
+class TestPaperRate:
+    def test_rate_between_sd_and_sf(self):
+        rates = SimulatorRates.paper()
+        rate = paper_rate(paper_workload(), rates)
+        assert rates.s_detailed < rate <= 1.0
+
+    def test_rate_decreases_with_warming(self):
+        """Figure 4: increasing W drags the rate toward S_D."""
+        rates = SimulatorRates.paper()
+        sweep = rate_versus_warming(
+            benchmark_length=50_000_000_000, sample_size=10_000, unit_size=1000,
+            warming_values=[0, 10_000, 100_000, 1_000_000, 5_000_000],
+            rates=rates)
+        values = [rate for _, rate in sweep]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] < 0.5 * values[0]
+
+    def test_slower_detailed_simulator_collapses_sooner(self):
+        """Figure 4: with S_D = 1/600 the rate collapses at smaller W."""
+        today = SimulatorRates.paper(PAPER_SD_TODAY)
+        future = SimulatorRates.paper(PAPER_SD_FUTURE)
+        workload = paper_workload(warming=100_000)
+        assert paper_rate(workload, future) < paper_rate(workload, today)
+
+    def test_functional_warming_rate_insensitive_to_detailed_speed(self):
+        """The SMARTS-with-functional-warming rate stays near S_FW."""
+        rates_fast = SimulatorRates.paper(PAPER_SD_TODAY)
+        rates_slow = SimulatorRates.paper(PAPER_SD_FUTURE)
+        workload = paper_workload(warming=2000)
+        rate_fast = paper_rate(workload, rates_fast, functional_warming=True)
+        rate_slow = paper_rate(workload, rates_slow, functional_warming=True)
+        assert rate_fast == pytest.approx(PAPER_SFW, rel=0.1)
+        assert rate_slow == pytest.approx(rate_fast, rel=0.1)
+
+
+class TestRuntimeAndSpeedup:
+    def test_runtime_components(self):
+        rates = SimulatorRates.paper()
+        workload = paper_workload()
+        total = runtime_seconds(workload, rates, functional_warming=True)
+        detailed_only = workload.detailed_instructions / (
+            rates.functional_ips * rates.s_detailed)
+        assert total > detailed_only
+
+    def test_speedup_is_large_at_paper_scale(self):
+        """The paper reports ~35x speedup for the 8-way machine."""
+        rates = SimulatorRates.paper()
+        speedup = speedup_over_detailed(paper_workload(), rates,
+                                        functional_warming=True)
+        assert 10 < speedup < 120
+
+    def test_effective_mips_exceeds_detailed_mips(self):
+        rates = SimulatorRates.paper()
+        mips = effective_mips(paper_workload(), rates, functional_warming=True)
+        detailed_mips = rates.functional_ips * rates.s_detailed / 1e6
+        assert mips > detailed_mips
+
+    def test_full_stream_runtimes(self):
+        rates = SimulatorRates(functional_ips=1e6, s_detailed=0.1, s_warming=0.5)
+        assert functional_runtime_seconds(1_000_000, rates) == pytest.approx(1.0)
+        assert detailed_runtime_seconds(1_000_000, rates) == pytest.approx(10.0)
+
+    def test_effective_rate_consistent_with_runtime(self):
+        rates = SimulatorRates(functional_ips=1e6, s_detailed=0.1, s_warming=0.5)
+        workload = SamplingWorkload(1_000_000, 100, 100, 100)
+        rate = effective_rate(workload, rates, functional_warming=True)
+        seconds = runtime_seconds(workload, rates, functional_warming=True)
+        assert rate == pytest.approx(
+            (workload.benchmark_length / rates.functional_ips) / seconds)
+
+
+class TestOptimalUnitSize:
+    def test_zero_warming_prefers_smallest_unit(self):
+        """Figure 5 (left): with W = 0 the smallest U minimizes work,
+        because CV decreases too slowly to favour larger units."""
+        cv = {10: 2.0, 100: 1.8, 1000: 1.5, 10000: 1.4}
+        best, fractions = optimal_unit_size(10_000_000, cv, warming=0)
+        assert best == 10
+        assert fractions[10] < fractions[10000]
+
+    def test_warming_pushes_optimum_upward(self):
+        """Figure 5: larger W shifts the optimal U to larger values."""
+        cv = {10: 2.0, 100: 1.8, 1000: 1.5, 10000: 1.4}
+        best_small, _ = optimal_unit_size(10_000_000, cv, warming=0)
+        best_large, _ = optimal_unit_size(10_000_000, cv, warming=100_000)
+        assert best_large > best_small
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_unit_size(100, {1000: 1.0}, warming=0)

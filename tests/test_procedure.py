@@ -1,0 +1,110 @@
+"""Tests for the two-step SMARTS estimation procedure (Section 5.1)."""
+
+import pytest
+
+from repro.core.procedure import (
+    ProcedureResult,
+    analytic_warming_bound,
+    estimate_metric,
+    recommended_warming,
+)
+
+
+class TestWarmingRecommendations:
+    def test_analytic_bound_matches_paper_formula(self, machine_8way):
+        expected = (machine_8way.store_buffer_entries
+                    * machine_8way.mem_latency
+                    * machine_8way.commit_width)
+        assert analytic_warming_bound(machine_8way) == expected
+
+    def test_paper_8way_bound_is_12800(self):
+        from repro.config import table3_8way
+        assert analytic_warming_bound(table3_8way()) == 12_800
+
+    def test_recommended_far_below_analytic_bound(self, machine_8way,
+                                                  machine_16way):
+        for machine in (machine_8way, machine_16way):
+            assert recommended_warming(machine) < analytic_warming_bound(machine)
+
+    def test_recommended_scales_with_window(self, machine_8way, machine_16way):
+        assert recommended_warming(machine_16way) == \
+            2 * recommended_warming(machine_8way)
+        assert recommended_warming(machine_8way) == 4 * machine_8way.ruu_size
+
+
+class TestEstimateMetric:
+    def test_basic_cpi_estimation(self, micro, machine_8way, micro_reference):
+        result = estimate_metric(
+            micro.program, machine_8way, metric="cpi",
+            unit_size=25, detailed_warming=100, n_init=60,
+            epsilon=0.2, max_rounds=1,
+            benchmark_length=micro_reference.instructions)
+        assert isinstance(result, ProcedureResult)
+        assert result.metric == "cpi"
+        assert result.estimate.mean > 0
+        error = abs(result.estimate.mean - micro_reference.cpi) / micro_reference.cpi
+        assert error < max(2 * result.confidence_interval, 0.10)
+
+    def test_epi_estimation(self, micro, machine_8way, micro_reference):
+        result = estimate_metric(
+            micro.program, machine_8way, metric="epi",
+            unit_size=25, detailed_warming=100, n_init=60,
+            epsilon=0.2, max_rounds=1,
+            benchmark_length=micro_reference.instructions)
+        error = abs(result.estimate.mean - micro_reference.epi) / micro_reference.epi
+        assert error < 0.25
+
+    def test_second_round_triggered_when_target_missed(
+            self, micro, machine_8way, micro_reference):
+        result = estimate_metric(
+            micro.program, machine_8way, metric="cpi",
+            unit_size=25, detailed_warming=50, n_init=30,
+            epsilon=0.02, max_rounds=2,
+            benchmark_length=micro_reference.instructions)
+        # A tiny initial sample cannot reach ±2% on this benchmark, so a
+        # tuned second run must have been attempted with a larger sample.
+        assert len(result.runs) == 2
+        assert result.tuned_sample_sizes
+        assert result.final_run.sample_size > result.initial_run.sample_size
+
+    def test_single_round_when_target_met(self, micro, machine_8way,
+                                           micro_reference):
+        result = estimate_metric(
+            micro.program, machine_8way, metric="cpi",
+            unit_size=25, detailed_warming=50, n_init=100,
+            epsilon=0.95, max_rounds=2,
+            benchmark_length=micro_reference.instructions)
+        assert len(result.runs) == 1
+        assert result.target_met
+
+    def test_default_warming_and_length_measurement(self, micro, machine_8way):
+        # Omitting detailed_warming and benchmark_length exercises the
+        # defaults (recommended warming; functional length measurement).
+        result = estimate_metric(
+            micro.program, machine_8way, metric="cpi",
+            unit_size=25, n_init=40, epsilon=0.5, max_rounds=1)
+        assert result.benchmark_length > 0
+        assert result.final_run.detailed_warming == \
+            recommended_warming(machine_8way)
+
+    def test_invalid_metric(self, micro, machine_8way):
+        with pytest.raises(ValueError):
+            estimate_metric(micro.program, machine_8way, metric="ipc")
+
+    def test_invalid_rounds(self, micro, machine_8way):
+        with pytest.raises(ValueError):
+            estimate_metric(micro.program, machine_8way, max_rounds=0)
+
+    def test_summary_and_totals(self, micro, machine_8way, micro_reference):
+        result = estimate_metric(
+            micro.program, machine_8way, metric="cpi",
+            unit_size=25, detailed_warming=50, n_init=40,
+            epsilon=0.3, max_rounds=1,
+            benchmark_length=micro_reference.instructions)
+        summary = result.summary()
+        assert summary["benchmark"] == micro.program.name
+        assert summary["rounds"] == 1
+        assert result.total_measured_instructions == \
+            result.final_run.instructions_measured
+        assert result.total_detailed_instructions >= \
+            result.total_measured_instructions

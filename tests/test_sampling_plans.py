@@ -1,0 +1,148 @@
+"""Unit and property-based tests for sampling plans."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import (
+    RandomSamplingPlan,
+    SystematicSamplingPlan,
+    offsets_for_bias_estimation,
+)
+
+
+class TestSystematicPlan:
+    def test_unit_enumeration(self):
+        plan = SystematicSamplingPlan(unit_size=10, interval=4, offset=1)
+        units = list(plan.units(200))
+        assert [u.index for u in units] == [1, 5, 9, 13, 17]
+        assert units[0].start == 10
+        assert units[0].end == 20
+
+    def test_sample_size_matches_enumeration(self):
+        plan = SystematicSamplingPlan(unit_size=10, interval=3, offset=2)
+        length = 1000
+        assert plan.sample_size(length) == len(list(plan.units(length)))
+
+    def test_population_size(self):
+        plan = SystematicSamplingPlan(unit_size=50, interval=10)
+        assert plan.population_size(1234) == 24
+
+    def test_detailed_instruction_accounting(self):
+        plan = SystematicSamplingPlan(unit_size=10, interval=5,
+                                      detailed_warming=20)
+        length = 1000
+        n = plan.sample_size(length)
+        assert plan.measured_instructions(length) == n * 10
+        assert plan.detailed_instructions(length) == n * 30
+        assert plan.detailed_fraction(length) == pytest.approx(n * 30 / length)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystematicSamplingPlan(unit_size=0, interval=1)
+        with pytest.raises(ValueError):
+            SystematicSamplingPlan(unit_size=10, interval=0)
+        with pytest.raises(ValueError):
+            SystematicSamplingPlan(unit_size=10, interval=5, offset=5)
+        with pytest.raises(ValueError):
+            SystematicSamplingPlan(unit_size=10, interval=2,
+                                   detailed_warming=-1)
+
+    def test_for_sample_size_interval_selection(self):
+        plan = SystematicSamplingPlan.for_sample_size(
+            benchmark_length=100_000, unit_size=100, target_sample_size=50)
+        assert plan.interval == 20           # 1000 units / 50
+        assert plan.sample_size(100_000) >= 50
+
+    def test_for_sample_size_larger_than_population(self):
+        plan = SystematicSamplingPlan.for_sample_size(
+            benchmark_length=1000, unit_size=100, target_sample_size=500)
+        assert plan.interval == 1
+        assert plan.sample_size(1000) == 10
+
+    def test_for_sample_size_too_short_benchmark(self):
+        with pytest.raises(ValueError):
+            SystematicSamplingPlan.for_sample_size(
+                benchmark_length=10, unit_size=100, target_sample_size=5)
+
+    @given(
+        length=st.integers(min_value=1_000, max_value=500_000),
+        unit_size=st.integers(min_value=1, max_value=500),
+        interval=st.integers(min_value=1, max_value=50),
+        offset=st.integers(min_value=0, max_value=49),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_units_are_disjoint_ordered_and_in_range(self, length, unit_size,
+                                                     interval, offset):
+        offset = min(offset, interval - 1)
+        plan = SystematicSamplingPlan(unit_size=unit_size, interval=interval,
+                                      offset=offset)
+        units = list(plan.units(length))
+        assert len(units) == plan.sample_size(length)
+        previous_end = -1
+        for unit in units:
+            assert unit.start >= 0
+            assert unit.end <= plan.population_size(length) * unit_size
+            assert unit.start > previous_end
+            previous_end = unit.end - 1
+        # Consecutive selected units are exactly interval*unit_size apart.
+        for a, b in zip(units, units[1:]):
+            assert b.start - a.start == interval * unit_size
+
+    @given(
+        length=st.integers(min_value=10_000, max_value=1_000_000),
+        unit_size=st.sampled_from([10, 25, 50, 100]),
+        target=st.integers(min_value=1, max_value=2000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_for_sample_size_hits_target_when_possible(self, length, unit_size,
+                                                       target):
+        plan = SystematicSamplingPlan.for_sample_size(
+            benchmark_length=length, unit_size=unit_size,
+            target_sample_size=target)
+        population = length // unit_size
+        achieved = plan.sample_size(length)
+        assert achieved >= min(target, population) * 0.99
+        # Never more than twice the target unless the population forces it.
+        if population > 2 * target:
+            assert achieved <= 2 * target
+
+
+class TestRandomPlan:
+    def test_selection_without_replacement(self):
+        plan = RandomSamplingPlan(unit_size=10, sample_size=20, seed=3)
+        units = list(plan.units(1000))
+        indices = [u.index for u in units]
+        assert len(indices) == 20
+        assert len(set(indices)) == 20
+        assert indices == sorted(indices)
+
+    def test_sample_capped_by_population(self):
+        plan = RandomSamplingPlan(unit_size=10, sample_size=500, seed=0)
+        units = list(plan.units(100))
+        assert len(units) == 10
+
+    def test_deterministic_by_seed(self):
+        a = [u.index for u in RandomSamplingPlan(10, 20, seed=1).units(5000)]
+        b = [u.index for u in RandomSamplingPlan(10, 20, seed=1).units(5000)]
+        c = [u.index for u in RandomSamplingPlan(10, 20, seed=2).units(5000)]
+        assert a == b
+        assert a != c
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomSamplingPlan(unit_size=0, sample_size=5)
+        with pytest.raises(ValueError):
+            RandomSamplingPlan(unit_size=10, sample_size=0)
+
+
+class TestBiasOffsets:
+    def test_five_even_phases(self):
+        assert offsets_for_bias_estimation(100, phases=5) == [0, 20, 40, 60, 80]
+
+    def test_phases_capped_by_interval(self):
+        assert offsets_for_bias_estimation(3, phases=5) == [0, 1, 2]
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            offsets_for_bias_estimation(0)

@@ -1,0 +1,139 @@
+"""Tests for the SMARTS sampling simulation engine."""
+
+import pytest
+
+from repro.core import SystematicSamplingPlan, run_smarts
+from repro.core.smarts import SmartsEngine
+
+
+class TestFullSampling:
+    def test_sampling_every_unit_reproduces_reference_cpi(
+            self, micro, machine_8way, micro_reference):
+        """With k=1 and no fast-forwarding the engine degenerates to a
+        continuous detailed run; its CPI must match the reference."""
+        plan = SystematicSamplingPlan(unit_size=25, interval=1,
+                                      detailed_warming=0,
+                                      functional_warming=False)
+        result = run_smarts(micro.program, machine_8way, plan,
+                            micro_reference.instructions)
+        assert result.sample_size == micro_reference.instructions // 25
+        assert result.cpi.mean == pytest.approx(micro_reference.cpi, rel=0.01)
+
+    def test_unit_records_align_with_reference_trace(
+            self, micro, machine_8way, micro_reference):
+        from repro.harness.reference import unit_cpi_trace
+        plan = SystematicSamplingPlan(unit_size=25, interval=1,
+                                      detailed_warming=0,
+                                      functional_warming=False)
+        result = run_smarts(micro.program, machine_8way, plan,
+                            micro_reference.instructions)
+        trace = unit_cpi_trace(micro_reference, 25)
+        sampled = [u.cpi for u in result.units if u.instructions == 25]
+        assert len(sampled) == len(trace)
+        # Per-unit values match because both are the same continuous run.
+        for measured, reference in zip(sampled[:50], trace[:50]):
+            assert measured == pytest.approx(reference, rel=1e-6)
+
+
+class TestSampledEstimation:
+    def test_estimate_close_to_reference_with_warming(
+            self, micro, machine_8way, micro_reference):
+        plan = SystematicSamplingPlan.for_sample_size(
+            benchmark_length=micro_reference.instructions,
+            unit_size=25, target_sample_size=100,
+            detailed_warming=100, functional_warming=True)
+        result = run_smarts(micro.program, machine_8way, plan,
+                            micro_reference.instructions)
+        error = abs(result.cpi.mean - micro_reference.cpi) / micro_reference.cpi
+        ci = result.cpi.confidence_interval(0.997)
+        assert error < max(2 * ci, 0.10)
+
+    def test_functional_warming_beats_no_warming(
+            self, micro, machine_8way, micro_reference):
+        """Estimates with functional warming should be no worse than with
+        completely stale state (usually much better)."""
+        def run(functional_warming, warming):
+            plan = SystematicSamplingPlan.for_sample_size(
+                benchmark_length=micro_reference.instructions,
+                unit_size=25, target_sample_size=80,
+                detailed_warming=warming,
+                functional_warming=functional_warming)
+            result = run_smarts(micro.program, machine_8way, plan,
+                                micro_reference.instructions)
+            return abs(result.cpi.mean - micro_reference.cpi) / micro_reference.cpi
+
+        error_warm = run(True, 50)
+        error_cold = run(False, 0)
+        assert error_warm <= error_cold + 0.02
+
+    def test_instruction_accounting(self, micro, machine_8way, micro_reference):
+        plan = SystematicSamplingPlan.for_sample_size(
+            benchmark_length=micro_reference.instructions,
+            unit_size=25, target_sample_size=50,
+            detailed_warming=75, functional_warming=True)
+        result = run_smarts(micro.program, machine_8way, plan,
+                            micro_reference.instructions)
+        total = (result.instructions_measured
+                 + result.instructions_detailed_warming
+                 + result.instructions_fastforwarded)
+        assert total <= micro_reference.instructions
+        assert result.instructions_measured == \
+            sum(u.instructions for u in result.units)
+        assert 0 < result.detailed_fraction < 1
+        assert result.sample_size == len(result.units)
+
+    def test_offset_changes_selected_units(self, micro, machine_8way,
+                                           micro_reference):
+        length = micro_reference.instructions
+        base = dict(unit_size=25, interval=10, detailed_warming=50,
+                    functional_warming=True)
+        run0 = run_smarts(micro.program, machine_8way,
+                          SystematicSamplingPlan(offset=0, **base), length)
+        run5 = run_smarts(micro.program, machine_8way,
+                          SystematicSamplingPlan(offset=5, **base), length)
+        assert [u.index for u in run0.units] != [u.index for u in run5.units]
+
+    def test_epi_measured_when_requested(self, micro, machine_8way,
+                                         micro_reference):
+        plan = SystematicSamplingPlan.for_sample_size(
+            benchmark_length=micro_reference.instructions,
+            unit_size=25, target_sample_size=40,
+            detailed_warming=50, functional_warming=True)
+        result = run_smarts(micro.program, machine_8way, plan,
+                            micro_reference.instructions, measure_energy=True)
+        assert result.epi.mean > 0
+        error = abs(result.epi.mean - micro_reference.epi) / micro_reference.epi
+        assert error < 0.25
+
+    def test_energy_skipped_when_disabled(self, micro, machine_8way,
+                                          micro_reference):
+        plan = SystematicSamplingPlan.for_sample_size(
+            benchmark_length=micro_reference.instructions,
+            unit_size=25, target_sample_size=20,
+            detailed_warming=50, functional_warming=True)
+        result = run_smarts(micro.program, machine_8way, plan,
+                            micro_reference.instructions, measure_energy=False)
+        assert all(u.energy == 0.0 for u in result.units)
+
+    def test_engine_reusable_across_runs(self, micro, machine_8way,
+                                         micro_reference):
+        engine = SmartsEngine(machine=machine_8way)
+        plan = SystematicSamplingPlan.for_sample_size(
+            benchmark_length=micro_reference.instructions,
+            unit_size=25, target_sample_size=30,
+            detailed_warming=50, functional_warming=True)
+        first = engine.run(micro.program, plan, micro_reference.instructions)
+        second = engine.run(micro.program, plan, micro_reference.instructions)
+        assert first.cpi.mean == pytest.approx(second.cpi.mean)
+
+    def test_summary_keys(self, micro, machine_8way, micro_reference):
+        plan = SystematicSamplingPlan.for_sample_size(
+            benchmark_length=micro_reference.instructions,
+            unit_size=25, target_sample_size=20,
+            detailed_warming=25, functional_warming=True)
+        result = run_smarts(micro.program, machine_8way, plan,
+                            micro_reference.instructions)
+        summary = result.summary()
+        for key in ("benchmark", "machine", "U", "k", "W", "n", "N", "cpi",
+                    "cpi_cv", "cpi_ci_997", "detailed_fraction"):
+            assert key in summary

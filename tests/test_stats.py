@@ -1,0 +1,194 @@
+"""Unit and property-based tests for the sampling statistics module."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (
+    CONFIDENCE_95,
+    CONFIDENCE_997,
+    achieved_confidence_interval,
+    achieved_confidence_level,
+    coefficient_of_variation,
+    intraclass_correlation,
+    relative_error,
+    required_sample_size,
+    sample_statistics,
+    sampling_bias,
+    systematic_sample_means,
+    z_score,
+)
+
+
+class TestZScore:
+    def test_common_values(self):
+        assert z_score(0.95) == pytest.approx(1.96, abs=0.01)
+        assert z_score(0.997) == pytest.approx(2.97, abs=0.02)
+        assert z_score(0.68) == pytest.approx(0.99, abs=0.02)
+
+    def test_monotonic_in_confidence(self):
+        assert z_score(0.99) > z_score(0.95) > z_score(0.5)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 1.5])
+    def test_invalid_confidence(self, bad):
+        with pytest.raises(ValueError):
+            z_score(bad)
+
+
+class TestSampleStatistics:
+    def test_known_values(self):
+        stats = sample_statistics([2.0, 4.0, 6.0, 8.0])
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.std == pytest.approx(np.std([2, 4, 6, 8], ddof=1))
+        assert stats.coefficient_of_variation == pytest.approx(stats.std / 5.0)
+
+    def test_single_element(self):
+        stats = sample_statistics([3.0])
+        assert stats.std == 0.0
+        assert stats.confidence_interval() == math.inf
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sample_statistics([])
+
+    def test_confidence_interval_formula(self):
+        stats = sample_statistics([1.0, 2.0, 3.0, 4.0, 5.0] * 20)
+        expected = z_score(CONFIDENCE_997) * stats.coefficient_of_variation \
+            / math.sqrt(stats.n)
+        assert stats.confidence_interval(CONFIDENCE_997) == pytest.approx(expected)
+        assert stats.absolute_confidence_interval(CONFIDENCE_997) == \
+            pytest.approx(expected * stats.mean)
+
+    def test_cv_of_constant_population_is_zero(self):
+        assert coefficient_of_variation([5.0] * 50) == 0.0
+
+
+class TestRequiredSampleSize:
+    def test_paper_rule_of_thumb(self):
+        # The paper: V = 1.0, +/-3% at 99.7% -> n ~ (3/0.03)^2 = 10,000.
+        n = required_sample_size(1.0, 0.03, 0.997)
+        assert 9_500 <= n <= 10_100
+
+    def test_quadratic_in_cv(self):
+        n1 = required_sample_size(0.5, 0.03, 0.997)
+        n2 = required_sample_size(1.0, 0.03, 0.997)
+        assert n2 / n1 == pytest.approx(4.0, rel=0.05)
+
+    def test_tighter_interval_needs_more_samples(self):
+        assert required_sample_size(1.0, 0.01, 0.997) > \
+            required_sample_size(1.0, 0.03, 0.997)
+
+    def test_higher_confidence_needs_more_samples(self):
+        assert required_sample_size(1.0, 0.03, 0.997) > \
+            required_sample_size(1.0, 0.03, 0.95)
+
+    def test_finite_population_correction_caps_at_population(self):
+        n = required_sample_size(2.0, 0.01, 0.997, population_size=500)
+        assert n <= 500
+
+    def test_fpc_reduces_required_size(self):
+        without = required_sample_size(1.0, 0.03, 0.997)
+        with_fpc = required_sample_size(1.0, 0.03, 0.997, population_size=20_000)
+        assert with_fpc < without
+
+    def test_zero_cv_needs_one_sample(self):
+        assert required_sample_size(0.0, 0.03, 0.997) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            required_sample_size(1.0, 0.0)
+        with pytest.raises(ValueError):
+            required_sample_size(-1.0, 0.03)
+        with pytest.raises(ValueError):
+            required_sample_size(1.0, 0.03, population_size=0)
+
+    @given(cv=st.floats(min_value=0.01, max_value=10.0),
+           epsilon=st.floats(min_value=0.001, max_value=0.5),
+           confidence=st.floats(min_value=0.5, max_value=0.999))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_with_achieved_interval(self, cv, epsilon, confidence):
+        """A sample of the required size achieves the target interval."""
+        n = required_sample_size(cv, epsilon, confidence)
+        assert achieved_confidence_interval(cv, n, confidence) <= epsilon * 1.001
+
+
+class TestAchievedConfidence:
+    def test_interval_shrinks_with_n(self):
+        assert achieved_confidence_interval(1.0, 400) < \
+            achieved_confidence_interval(1.0, 100)
+
+    def test_level_grows_with_n(self):
+        assert achieved_confidence_level(1.0, 400, 0.05) > \
+            achieved_confidence_level(1.0, 100, 0.05)
+
+    def test_level_is_one_for_zero_cv(self):
+        assert achieved_confidence_level(0.0, 10, 0.01) == 1.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            achieved_confidence_interval(1.0, 0)
+
+
+class TestSystematicSamplingDiagnostics:
+    def test_sample_means_shape(self):
+        population = list(range(100))
+        means = systematic_sample_means(population, interval=10)
+        assert len(means) == 10
+        # Mean of the systematic-sample means equals the population mean.
+        assert means.mean() == pytest.approx(np.mean(population))
+
+    def test_bias_of_true_values_is_zero(self):
+        population = np.random.default_rng(0).normal(10.0, 2.0, size=1000)
+        bias = sampling_bias(population, interval=10)
+        assert bias == pytest.approx(0.0, abs=1e-9)
+
+    def test_bias_with_subset_of_offsets(self):
+        population = np.arange(100, dtype=float)
+        bias = sampling_bias(population, interval=10, offsets=[0])
+        # Offset 0 picks 0,10,...,90 whose mean is 45 vs true 49.5.
+        assert bias == pytest.approx(-4.5)
+
+    def test_intraclass_correlation_near_zero_for_iid(self):
+        population = np.random.default_rng(1).normal(5.0, 1.0, size=4000)
+        delta = intraclass_correlation(population, interval=20)
+        assert abs(delta) < 0.05
+
+    def test_intraclass_correlation_positive_for_periodic(self):
+        # Strong periodicity at the sampling interval -> high homogeneity.
+        population = np.tile([1.0] * 10 + [10.0] * 10, 100)
+        delta = intraclass_correlation(population, interval=20)
+        assert delta > 0.2
+
+    def test_intraclass_requires_enough_data(self):
+        with pytest.raises(ValueError):
+            intraclass_correlation([1.0, 2.0], interval=10)
+
+
+class TestRelativeError:
+    def test_signed(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_error(0.9, 1.0) == pytest.approx(-0.1)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+
+class TestStatisticalSoundness:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_confidence_interval_covers_true_mean(self, seed):
+        """Sampled means fall within the CI at least roughly as often as
+        the confidence level promises (checked loosely per example)."""
+        rng = np.random.default_rng(seed)
+        population = rng.lognormal(mean=0.0, sigma=0.5, size=5000)
+        true_mean = population.mean()
+        sample = rng.choice(population, size=200, replace=False)
+        stats = sample_statistics(sample)
+        interval = stats.absolute_confidence_interval(0.997)
+        # With 99.7% confidence the failure probability per example is
+        # 0.3%; over 30 examples a failure is possible but very unlikely.
+        assert abs(stats.mean - true_mean) <= interval * 1.5

@@ -1,0 +1,128 @@
+"""Unit tests for the TLB, MSHR file, and store buffer models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import MSHRFile, StoreBuffer, TLB
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB("t", entries=16, assoc=4)
+        assert tlb.access(0x1000) is False
+        assert tlb.access(0x1004) is True       # same page
+        assert tlb.access(0x2000) is False      # different page
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            TLB("t", entries=0, assoc=4)
+        with pytest.raises(ValueError):
+            TLB("t", entries=10, assoc=4)
+
+    def test_lru_within_set(self):
+        tlb = TLB("t", entries=2, assoc=2, page_bytes=4096)
+        pages = [0, 2 * 4096, 4 * 4096]          # all map to set 0
+        tlb.access(pages[0])
+        tlb.access(pages[1])
+        tlb.access(pages[0])
+        tlb.access(pages[2])                      # evicts pages[1]
+        assert tlb.access(pages[0]) is True
+        assert tlb.access(pages[1]) is False
+
+    def test_stats_and_flush(self):
+        tlb = TLB("t", entries=8, assoc=2)
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.stats.accesses == 2
+        assert tlb.stats.misses == 1
+        assert tlb.stats.miss_rate == pytest.approx(0.5)
+        tlb.flush()
+        assert tlb.access(0) is False
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 22), min_size=1,
+                    max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_reach_bounded(self, addresses):
+        tlb = TLB("t", entries=8, assoc=4, page_bytes=1024)
+        for addr in addresses:
+            tlb.access(addr)
+        resident = sum(len(s) for s in tlb._sets)
+        assert resident <= 8
+
+
+class TestMSHR:
+    def test_allocation_and_merge(self):
+        mshr = MSHRFile(entries=2)
+        ready, stall = mshr.request(block=1, now=0, latency=100)
+        assert (ready, stall) == (100, 0)
+        # Second request to the same block merges onto the same completion.
+        ready2, stall2 = mshr.request(block=1, now=10, latency=100)
+        assert ready2 == 100 and stall2 == 0
+        assert mshr.stats.merges == 1
+
+    def test_structural_stall_when_full(self):
+        mshr = MSHRFile(entries=1)
+        mshr.request(block=1, now=0, latency=100)
+        ready, stall = mshr.request(block=2, now=10, latency=100)
+        assert stall == 90                     # waits for the first miss
+        assert ready == 10 + 90 + 100
+        assert mshr.stats.structural_stalls == 1
+
+    def test_entries_expire(self):
+        mshr = MSHRFile(entries=1)
+        mshr.request(block=1, now=0, latency=10)
+        assert mshr.outstanding(now=5) == 1
+        assert mshr.outstanding(now=20) == 0
+        ready, stall = mshr.request(block=2, now=20, latency=10)
+        assert stall == 0 and ready == 30
+
+    def test_invalid_entry_count(self):
+        with pytest.raises(ValueError):
+            MSHRFile(entries=0)
+
+    def test_flush(self):
+        mshr = MSHRFile(entries=2)
+        mshr.request(block=1, now=0, latency=100)
+        mshr.flush()
+        assert mshr.outstanding(now=0) == 0
+
+
+class TestStoreBuffer:
+    def test_push_without_stall(self):
+        sb = StoreBuffer(entries=2)
+        completion, stall = sb.push(now=0, drain_latency=10)
+        assert (completion, stall) == (10, 0)
+        assert sb.occupancy(now=5) == 1
+        assert sb.occupancy(now=20) == 0
+
+    def test_full_buffer_stalls(self):
+        sb = StoreBuffer(entries=1)
+        sb.push(now=0, drain_latency=50)
+        completion, stall = sb.push(now=5, drain_latency=50)
+        assert stall == 45
+        assert completion == 5 + 45 + 50
+        assert sb.stats.full_stalls == 1
+
+    def test_drained_entries_free_slots(self):
+        sb = StoreBuffer(entries=1)
+        sb.push(now=0, drain_latency=5)
+        completion, stall = sb.push(now=10, drain_latency=5)
+        assert stall == 0 and completion == 15
+
+    def test_invalid_entry_count(self):
+        with pytest.raises(ValueError):
+            StoreBuffer(entries=0)
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=1000),
+                              st.integers(min_value=1, max_value=100)),
+                    min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, pushes):
+        sb = StoreBuffer(entries=4)
+        now = 0
+        for delta, latency in pushes:
+            now += delta
+            completion, stall = sb.push(now=now, drain_latency=latency)
+            assert completion >= now
+            assert sb.occupancy(now) <= 4

@@ -1,0 +1,157 @@
+"""Tests for the kernel library and the synthetic benchmark suite."""
+
+import random
+
+import pytest
+
+from repro.functional import FunctionalCore, measure_program_length
+from repro.isa import ProgramBuilder
+from repro.workloads import (
+    KERNELS,
+    SUITE_NAMES,
+    DataAllocator,
+    KernelSpec,
+    PhaseSpec,
+    build_program,
+    get_benchmark,
+    micro_benchmark,
+    suite_specs,
+)
+from repro.workloads.suite import BenchmarkSpec, _spec
+
+
+class TestDataAllocator:
+    def test_disjoint_regions(self):
+        alloc = DataAllocator()
+        a = alloc.alloc(100)
+        b = alloc.alloc(100)
+        assert b >= a + 100
+
+    def test_alignment(self):
+        alloc = DataAllocator(alignment=64)
+        alloc.alloc(10)
+        b = alloc.alloc(10)
+        assert b % 64 == 0
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernel_emits_runnable_subroutine(self, name):
+        b = ProgramBuilder(f"test_{name}")
+        alloc = DataAllocator()
+        rng = random.Random(0)
+        # Small parameters so every kernel runs quickly.
+        params = {
+            "stream_sum": {"elems": 32},
+            "stream_triad": {"elems": 32},
+            "pointer_chase": {"nodes": 32, "spacing": 64, "hops": 32},
+            "random_access": {"table_words": 64, "accesses": 32},
+            "branchy_walk": {"elems": 32},
+            "matmul": {"n": 4},
+            "stencil": {"elems": 32},
+            "alu_chain": {"iters": 32},
+            "divider": {"iters": 8},
+            "sort_pass": {"elems": 16, "passes": 1},
+        }[name]
+        b.jump("main")
+        instance = KERNELS[name](b, f"k_{name}", alloc, rng, **params)
+        b.label("main")
+        b.jal("r31", instance.label)
+        b.halt()
+        program = b.build()
+        length = measure_program_length(program)
+        assert length > 0
+        # The emitted estimate should be within 2x of the real count.
+        assert 0.4 < length / instance.dynamic_length < 2.5
+
+    def test_random_access_requires_power_of_two_table(self):
+        b = ProgramBuilder("bad")
+        with pytest.raises(ValueError):
+            KERNELS["random_access"](b, "k", DataAllocator(), random.Random(0),
+                                     table_words=1000, accesses=8)
+
+    def test_sort_pass_actually_sorts_adjacent_pairs(self):
+        b = ProgramBuilder("sorts")
+        alloc = DataAllocator()
+        rng = random.Random(3)
+        b.jump("main")
+        instance = KERNELS["sort_pass"](b, "k_sort", alloc, rng,
+                                        elems=16, passes=16)
+        b.label("main")
+        b.jal("r31", instance.label)
+        b.halt()
+        program = b.build()
+        core = FunctionalCore(program)
+        core.run_to_completion()
+        # Extract the array from memory: it was allocated first, at the
+        # allocator's base address.
+        base = DataAllocator().alloc(0)
+        values = [core.state.memory.get(base + i * 8, 0) for i in range(16)]
+        assert values == sorted(values)
+
+
+class TestSuiteSpecs:
+    def test_suite_has_twelve_benchmarks(self):
+        assert len(SUITE_NAMES) == 12
+        assert len(set(SUITE_NAMES)) == 12
+
+    def test_specs_have_both_categories(self):
+        categories = {spec.category for spec in suite_specs()}
+        assert categories == {"int", "fp"}
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(name="x", category="weird", description="",
+                          phases=(PhaseSpec((KernelSpec("alu_chain"),), 1),))
+        with pytest.raises(KeyError):
+            KernelSpec("not_a_kernel")
+        with pytest.raises(ValueError):
+            PhaseSpec((), 1)
+        with pytest.raises(ValueError):
+            PhaseSpec((KernelSpec("alu_chain"),), 0)
+
+    def test_get_benchmark_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_benchmark("spec.notreal")
+
+
+class TestProgramConstruction:
+    def test_scale_changes_dynamic_length(self):
+        small = get_benchmark("gzip.syn", scale=0.05)
+        large = get_benchmark("gzip.syn", scale=0.1)
+        len_small = measure_program_length(small.program)
+        len_large = measure_program_length(large.program)
+        assert len_large > 1.5 * len_small
+
+    def test_estimated_length_close_to_actual(self):
+        benchmark = get_benchmark("gzip.syn", scale=0.05)
+        actual = measure_program_length(benchmark.program)
+        assert 0.5 < actual / benchmark.estimated_length < 2.0
+
+    def test_determinism_by_seed(self):
+        a = get_benchmark("gcc.syn", scale=0.05)
+        b = get_benchmark("gcc.syn", scale=0.05)
+        assert [str(i) for i in a.program.instructions] == \
+            [str(i) for i in b.program.instructions]
+        assert a.program.data == b.program.data
+
+    def test_micro_benchmark_is_small(self, micro):
+        length = measure_program_length(micro.program)
+        assert 5_000 < length < 50_000
+
+    def test_benchmark_has_many_basic_blocks(self, micro):
+        assert len(micro.program.basic_block_leaders()) > 10
+
+    def test_custom_spec_build(self):
+        spec = _spec(
+            "custom.syn", "int", "test",
+            [PhaseSpec((KernelSpec("alu_chain", {"iters": 16}),), 2)])
+        benchmark = build_program(spec, scale=1.0)
+        length = measure_program_length(benchmark.program)
+        assert length > 100
+
+    @pytest.mark.parametrize("name", SUITE_NAMES)
+    def test_every_suite_benchmark_builds_and_halts(self, name):
+        benchmark = get_benchmark(name, scale=0.02)
+        length = measure_program_length(benchmark.program, limit=2_000_000)
+        assert length > 1_000
