@@ -4,54 +4,56 @@
 The motivating use case of SMARTS (Section 1): an architect wants to
 compare design points across a benchmark suite but cannot afford
 full-stream detailed simulation of every (benchmark, configuration)
-pair.  This example evaluates the 8-way baseline against the 16-way
-aggressive configuration over several benchmarks using SMARTS, reports
-speedup-style CPI ratios with confidence intervals, and shows how much
-detailed simulation was avoided.
+pair.  This example builds the benchmark x machine cross product as
+declarative RunSpecs and executes the whole batch through one
+``Session.run_batch`` call — in parallel across worker processes, with
+on-disk result caching — then reports speedup-style CPI ratios with
+confidence intervals and how much detailed simulation was avoided.
 
-Run:  python examples/design_study.py
+Run:  python examples/design_study.py [--workers N]
 """
 
-from repro import estimate_metric, get_benchmark, recommended_warming
-from repro.config import scaled_16way, scaled_8way
-from repro.harness.reporting import format_table
+import argparse
+
+from repro.api import RunSpec, Session, SystematicStrategy, format_table
 
 BENCHMARKS = ["gzip.syn", "gcc.syn", "mcf.syn", "mesa.syn", "swim.syn"]
+MACHINES = ["8-way", "16-way"]
 SCALE = 0.2
 
 
 def main() -> None:
-    machines = {"8-way": scaled_8way(), "16-way": scaled_16way()}
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="parallel worker processes")
+    args = parser.parse_args()
+
+    session = Session(max_workers=args.workers)
+    strategy = SystematicStrategy(unit_size=50, n_init=200, max_rounds=2)
+    specs = [
+        RunSpec(benchmark=name, machine=machine, strategy=strategy,
+                scale=SCALE, metric="cpi", epsilon=0.10)
+        for name in BENCHMARKS
+        for machine in MACHINES
+    ]
+    results = {(r.spec.benchmark, r.spec.machine): r
+               for r in session.run_batch(specs)}
+
     rows = []
     total_measured = 0
     total_length = 0
-
     for name in BENCHMARKS:
-        benchmark = get_benchmark(name, scale=SCALE)
-        estimates = {}
-        for machine_name, machine in machines.items():
-            result = estimate_metric(
-                benchmark.program, machine,
-                metric="cpi",
-                unit_size=50,
-                detailed_warming=recommended_warming(machine),
-                epsilon=0.10,
-                n_init=200,
-                max_rounds=2,
-            )
-            estimates[machine_name] = result
-            total_measured += result.total_measured_instructions
+        eight = results[(name, "8-way")]
+        sixteen = results[(name, "16-way")]
+        for result in (eight, sixteen):
+            total_measured += result.instructions_measured
             total_length += result.benchmark_length
-
-        cpi8 = estimates["8-way"].estimate.mean
-        cpi16 = estimates["16-way"].estimate.mean
-        ci8 = estimates["8-way"].confidence_interval
-        ci16 = estimates["16-way"].confidence_interval
         rows.append([
             name,
-            f"{cpi8:.3f} ±{ci8:.1%}",
-            f"{cpi16:.3f} ±{ci16:.1%}",
-            f"{cpi8 / cpi16:.2f}x" if cpi16 else "n/a",
+            f"{eight.estimate_mean:.3f} ±{eight.confidence_interval:.1%}",
+            f"{sixteen.estimate_mean:.3f} ±{sixteen.confidence_interval:.1%}",
+            (f"{eight.estimate_mean / sixteen.estimate_mean:.2f}x"
+             if sixteen.estimate_mean else "n/a"),
         ])
 
     print(format_table(

@@ -1,15 +1,16 @@
 #!/usr/bin/env python3
 """Quickstart: estimate the CPI of one benchmark with SMARTS.
 
-This example follows the exact procedure of Section 5.1 of the paper:
+Everything goes through the unified session layer (``repro.api``): a
+declarative :class:`RunSpec` names the benchmark, machine, and sampling
+strategy; :class:`Session` executes it (with on-disk result caching)
+and returns a :class:`RunResult` with the estimate, its confidence
+interval, and per-round bookkeeping.
 
-1. pick W from the machine's warming recommendation (functional warming
-   bounds it to a small value),
-2. use the canonical small sampling unit size U,
-3. run once with a generic initial sample size n_init and check the
-   achieved 99.7% confidence interval,
-4. if the interval is too wide, rerun with n_tuned computed from the
-   measured coefficient of variation.
+Under the hood this follows the exact procedure of Section 5.1 of the
+paper: W from the machine's warming recommendation, the canonical small
+sampling unit size U, one run at n_init, and a tuned second run when the
+achieved 99.7% confidence interval is too wide.
 
 It then validates the estimate against a full-stream detailed simulation
 (something the paper could only afford because it had months of
@@ -18,52 +19,56 @@ reference simulations — here the benchmark is small enough to check).
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    estimate_metric,
+from repro.api import (
+    RunSpec,
+    Session,
+    SystematicStrategy,
     get_benchmark,
-    recommended_warming,
+    resolve_machine,
     run_reference,
-    scaled_8way,
 )
 
 
 def main() -> None:
-    machine = scaled_8way()
-    benchmark = get_benchmark("mcf.syn", scale=0.25)
-    print(f"Benchmark: {benchmark.name} ({benchmark.spec.description})")
-    print(f"Machine:   {machine.name}")
+    session = Session()
+    spec = RunSpec(
+        benchmark="mcf.syn",
+        machine="8-way",
+        strategy=SystematicStrategy(
+            unit_size=50,           # U (scaled from 1000)
+            n_init=300,
+            max_rounds=2,
+            detailed_warming=None,  # W: machine's recommendation
+            functional_warming=True,
+        ),
+        scale=0.25,
+        metric="cpi",
+        epsilon=0.075,              # target ±7.5%
+        confidence=0.997,           # "virtually certain"
+    )
+    print(f"Benchmark: {spec.benchmark}")
+    print(f"Machine:   {resolve_machine(spec.machine).name}")
 
     # --- SMARTS estimation ------------------------------------------------
-    result = estimate_metric(
-        benchmark.program,
-        machine,
-        metric="cpi",
-        unit_size=50,                                   # U (scaled from 1000)
-        detailed_warming=recommended_warming(machine),  # W
-        functional_warming=True,
-        epsilon=0.075,                                  # target ±7.5%
-        confidence=0.997,                               # "virtually certain"
-        n_init=300,
-        max_rounds=2,
-    )
+    result = session.run(spec)
 
-    estimate = result.estimate
     print("\nSMARTS estimate")
-    print(f"  CPI                 : {estimate.mean:.4f}")
-    print(f"  coefficient of var. : {estimate.coefficient_of_variation:.3f}")
+    print(f"  CPI                 : {result.estimate_mean:.4f}")
+    print(f"  coefficient of var. : {result.estimate_cv:.3f}")
     print(f"  99.7% conf. interval: ±{result.confidence_interval:.2%}")
-    print(f"  sampling rounds     : {len(result.runs)}"
-          f" (n = {[run.sample_size for run in result.runs]})")
+    print(f"  sampling rounds     : {result.rounds}"
+          f" (n = {[r['sample_size'] for r in result.round_estimates]})")
     print(f"  instructions measured in detail: "
-          f"{result.total_measured_instructions:,} of "
+          f"{result.instructions_measured:,} of "
           f"{result.benchmark_length:,} "
-          f"({result.total_measured_instructions / result.benchmark_length:.2%})")
+          f"({result.instructions_measured / result.benchmark_length:.2%})")
 
     # --- Validation against full detailed simulation ----------------------
     print("\nValidating against full-stream detailed simulation "
           "(this is the slow thing SMARTS avoids)...")
-    reference = run_reference(benchmark.program, machine)
-    error = (estimate.mean - reference.cpi) / reference.cpi
+    benchmark = get_benchmark(spec.benchmark, scale=spec.scale)
+    reference = run_reference(benchmark.program, resolve_machine(spec.machine))
+    error = (result.estimate_mean - reference.cpi) / reference.cpi
     print(f"  true CPI            : {reference.cpi:.4f}")
     print(f"  actual error        : {error:+.2%}")
     print(f"  inside ±CI?         : "

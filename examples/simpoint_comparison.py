@@ -7,18 +7,20 @@ their CPI estimates against a full-stream reference:
 * SimPoint: offline basic-block-vector clustering picks a handful of
   large representative regions, each simulated once and weighted.
 * SMARTS: systematic sampling of many tiny units with functional
-  warming, plus a quantified confidence interval.
+  warming, plus a quantified confidence interval — expressed here as a
+  RunSpec executed through the ``repro.api`` session layer.
 
 Run:  python examples/simpoint_comparison.py
 """
 
-from repro import (
-    estimate_metric,
+from repro.api import (
+    RunSpec,
+    Session,
+    SystematicStrategy,
     get_benchmark,
-    recommended_warming,
+    resolve_machine,
     run_reference,
     run_simpoint,
-    scaled_8way,
 )
 
 BENCHMARK = "bzip2.syn"
@@ -26,7 +28,7 @@ SCALE = 0.2
 
 
 def main() -> None:
-    machine = scaled_8way()
+    machine = resolve_machine("8-way")
     benchmark = get_benchmark(BENCHMARK, scale=SCALE)
     print(f"Benchmark: {benchmark.name}, machine: {machine.name}\n")
 
@@ -45,15 +47,20 @@ def main() -> None:
           f"(error {simpoint_error:+.2%}, no confidence bound)\n")
 
     print("SMARTS (systematic sampling + functional warming)...")
-    smarts = estimate_metric(
-        benchmark.program, machine, metric="cpi",
-        unit_size=50, detailed_warming=recommended_warming(machine),
-        epsilon=0.075, n_init=300, max_rounds=2,
-        benchmark_length=reference.instructions)
-    smarts_error = (smarts.estimate.mean - reference.cpi) / reference.cpi
-    print(f"  sampling units      : {smarts.final_run.sample_size} x "
-          f"{smarts.final_run.unit_size} instructions")
-    print(f"  CPI estimate        : {smarts.estimate.mean:.4f}  "
+    session = Session()
+    smarts = session.run(RunSpec(
+        benchmark=BENCHMARK,
+        machine="8-way",
+        strategy=SystematicStrategy(unit_size=50, n_init=300, max_rounds=2),
+        scale=SCALE,
+        metric="cpi",
+        epsilon=0.075,
+        benchmark_length=reference.instructions,
+    ))
+    smarts_error = (smarts.estimate_mean - reference.cpi) / reference.cpi
+    print(f"  sampling units      : {smarts.sample_size} x "
+          f"{smarts.spec.strategy.unit_size} instructions")
+    print(f"  CPI estimate        : {smarts.estimate_mean:.4f}  "
           f"(error {smarts_error:+.2%}, "
           f"99.7% CI ±{smarts.confidence_interval:.2%})")
 

@@ -24,7 +24,15 @@ This package provides:
 * ``repro.harness`` — reference simulations and one experiment entry
   point per table and figure of the paper's evaluation.
 
-Quickstart::
+Quickstart (the unified session layer; see API.md)::
+
+    from repro import RunSpec, Session
+
+    session = Session()
+    result = session.run(RunSpec(benchmark="gcc.syn", scale=0.2))
+    print(result.estimate_mean, result.confidence_interval)
+
+The lower-level building blocks remain available::
 
     from repro import estimate_metric, get_benchmark, scaled_8way
 
@@ -33,6 +41,20 @@ Quickstart::
     print(result.estimate.mean, result.confidence_interval)
 """
 
+from repro.api import (
+    Executor,
+    RandomStrategy,
+    ResultCache,
+    RunResult,
+    RunSpec,
+    SamplingStrategy,
+    Session,
+    StratifiedStrategy,
+    SystematicStrategy,
+    get_strategy,
+    register_strategy,
+    strategy_from_dict,
+)
 from repro.config import (
     MachineConfig,
     get_config,
@@ -70,6 +92,7 @@ __all__ = [
     "CONFIDENCE_997",
     "DetailedSimulator",
     "EnergyModel",
+    "Executor",
     "ExperimentContext",
     "FunctionalCore",
     "FunctionalWarmer",
@@ -78,25 +101,36 @@ __all__ = [
     "MicroarchState",
     "PipelineCounters",
     "ProcedureResult",
+    "RandomStrategy",
+    "ResultCache",
+    "RunResult",
+    "RunSpec",
     "SUITE_NAMES",
+    "SamplingStrategy",
     "SamplingWorkload",
+    "Session",
     "SimulatorRates",
     "SmartsEngine",
     "SmartsRunResult",
+    "StratifiedStrategy",
     "SystematicSamplingPlan",
+    "SystematicStrategy",
     "build_suite",
     "estimate_metric",
     "get_benchmark",
     "get_config",
+    "get_strategy",
     "measure_program_length",
     "micro_benchmark",
     "recommended_warming",
+    "register_strategy",
     "required_sample_size",
     "run_reference",
     "run_simpoint",
     "run_smarts",
     "scaled_16way",
     "scaled_8way",
+    "strategy_from_dict",
     "table3_16way",
     "table3_8way",
     "__version__",

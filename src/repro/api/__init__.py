@@ -1,0 +1,155 @@
+"""repro.api — the unified public entry point of the library.
+
+This package is the supported surface for building workflows on the
+SMARTS reproduction.  It provides:
+
+* :class:`Session` — facade with caching and parallel batch execution,
+* :class:`RunSpec` / :class:`RunResult` — declarative, JSON-serializable
+  run contracts,
+* the pluggable sampling strategies (:class:`SystematicStrategy`,
+  :class:`RandomStrategy`, :class:`StratifiedStrategy`) and their
+  registry,
+* passthroughs for the supporting workflows the CLI and examples need
+  (benchmark suite listing, reference simulation, the SimPoint baseline,
+  the per-figure experiments, and table formatting), so downstream code
+  can import *only* from ``repro.api``.
+
+See API.md at the repository root for a quickstart and migration notes
+from direct ``SmartsEngine`` wiring.
+"""
+
+from __future__ import annotations
+
+import importlib
+from functools import partial
+
+from repro.config import MachineConfig, scaled_16way, scaled_8way
+from repro.core.procedure import recommended_warming
+from repro.core.stats import CONFIDENCE_95, CONFIDENCE_997
+from repro.workloads import SUITE_NAMES, get_benchmark, suite_specs
+from repro.api.spec import RunResult, RunSpec
+from repro.api.strategies import (
+    STRATEGIES,
+    RandomStrategy,
+    SamplingStrategy,
+    StratifiedStrategy,
+    StrategyOutcome,
+    SystematicStrategy,
+    get_strategy,
+    register_strategy,
+    strategy_from_dict,
+)
+from repro.api.executor import (
+    Executor,
+    ResultCache,
+    default_run_cache_dir,
+    execute_spec,
+    resolve_benchmark,
+    resolve_machine,
+)
+from repro.api.session import Session, run_spec
+
+#: Experiment name -> harness entry-point function name.  The single
+#: source of truth for both EXPERIMENT_NAMES and run_experiment (the
+#: harness module itself is imported lazily to avoid a circular import).
+_EXPERIMENT_FUNCTIONS = {
+    "table3": "table3_configurations",
+    "fig2": "figure2_cv_curves",
+    "fig3": "figure3_minimum_instructions",
+    "fig4": "figure4_speed_model",
+    "fig5": "figure5_optimal_unit_size",
+    "table4": "table4_detailed_warming",
+    "table5": "table5_functional_warming_bias",
+    "fig6": "figure6_cpi_estimates",
+    "fig7": "figure7_epi_estimates",
+    "table6": "table6_runtimes",
+    "fig8": "figure8_simpoint_comparison",
+}
+
+#: Names of the paper's tables/figures runnable via run_experiment().
+EXPERIMENT_NAMES = tuple(_EXPERIMENT_FUNCTIONS)
+
+
+def run_experiment(name: str, ctx=None) -> dict:
+    """Run one of the paper's table/figure experiments by name.
+
+    Returns the experiment's data dictionary (rows plus a formatted
+    ``"report"`` string).  ``ctx`` defaults to the process-wide
+    :class:`~repro.harness.experiments.ExperimentContext`.
+    """
+    from repro.harness import experiments as exp
+
+    try:
+        entry = getattr(exp, _EXPERIMENT_FUNCTIONS[name])
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; "
+                       f"available: {sorted(_EXPERIMENT_FUNCTIONS)}") from None
+    return entry(ctx if ctx is not None else exp.default_context())
+
+
+#: name -> callable(ctx=None) registry, matching the old cli.EXPERIMENTS.
+EXPERIMENTS = {name: partial(run_experiment, name) for name in EXPERIMENT_NAMES}
+
+#: Harness passthroughs resolved lazily (PEP 562) — the harness imports
+#: repro.api for its suite sweeps, so importing it eagerly here would be
+#: circular.
+_LAZY_EXPORTS = {
+    "ExperimentContext": ("repro.harness.experiments", "ExperimentContext"),
+    "default_context": ("repro.harness.experiments", "default_context"),
+    "format_table": ("repro.harness.reporting", "format_table"),
+    "run_reference": ("repro.harness.reference", "run_reference"),
+    "run_simpoint": ("repro.simpoint.estimator", "run_simpoint"),
+    "estimate_metric": ("repro.core.procedure", "estimate_metric"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value
+
+
+__all__ = [
+    "CONFIDENCE_95",
+    "CONFIDENCE_997",
+    "EXPERIMENTS",
+    "EXPERIMENT_NAMES",
+    "Executor",
+    "ExperimentContext",
+    "MachineConfig",
+    "RandomStrategy",
+    "ResultCache",
+    "RunResult",
+    "RunSpec",
+    "SUITE_NAMES",
+    "STRATEGIES",
+    "SamplingStrategy",
+    "Session",
+    "StratifiedStrategy",
+    "StrategyOutcome",
+    "SystematicStrategy",
+    "default_context",
+    "default_run_cache_dir",
+    "estimate_metric",
+    "execute_spec",
+    "format_table",
+    "get_benchmark",
+    "get_strategy",
+    "recommended_warming",
+    "register_strategy",
+    "resolve_benchmark",
+    "resolve_machine",
+    "run_experiment",
+    "run_reference",
+    "run_simpoint",
+    "run_spec",
+    "scaled_16way",
+    "scaled_8way",
+    "strategy_from_dict",
+    "suite_specs",
+]

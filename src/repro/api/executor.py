@@ -1,0 +1,188 @@
+"""Spec execution: benchmark/machine resolution, caching, parallelism.
+
+:func:`execute_spec` turns one :class:`~repro.api.spec.RunSpec` into a
+:class:`~repro.api.spec.RunResult`.  :class:`Executor` runs batches of
+specs, consulting an on-disk JSON cache keyed by the spec's content hash
+and fanning cache misses across ``concurrent.futures``
+ProcessPoolExecutor workers.  Workers exchange plain dict payloads (the
+``to_dict`` forms), so nothing fancier than JSON-shaped data ever
+crosses the process boundary.
+
+The pool uses the ``fork`` start context where available: forked workers
+inherit the parent's interpreter state, which keeps benchmark
+construction bit-identical between serial and parallel execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.config.machines import MachineConfig, get_config, scaled_16way, scaled_8way
+from repro.functional.simulator import measure_program_length
+from repro.isa.program import Program
+from repro.workloads.suite import get_benchmark, micro_benchmark
+from repro.api.spec import RunResult, RunSpec
+
+#: Bump when simulator behaviour changes in a way that invalidates
+#: cached run results.
+CACHE_VERSION = 2
+
+
+def resolve_machine(name: str) -> MachineConfig:
+    """Map a RunSpec machine name to a configuration.
+
+    ``"8-way"`` and ``"16-way"`` resolve to the *scaled* Table 3
+    configurations (the ones every workflow in this repository
+    simulates); any other name is looked up in the full registry.
+    """
+    if name == "8-way":
+        return scaled_8way()
+    if name == "16-way":
+        return scaled_16way()
+    return get_config(name)
+
+
+def resolve_benchmark(name: str, scale: float) -> Program:
+    """Build the program for a RunSpec benchmark name."""
+    if name == "micro.syn":
+        return micro_benchmark().program
+    return get_benchmark(name, scale=scale).program
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one spec to completion (no caching, current process)."""
+    start = time.perf_counter()
+    program = resolve_benchmark(spec.benchmark, spec.scale)
+    machine = resolve_machine(spec.machine)
+    length = spec.benchmark_length
+    if length is None:
+        length = measure_program_length(program)
+    outcome = spec.strategy.run(
+        program, machine, length,
+        metric=spec.metric,
+        epsilon=spec.epsilon,
+        confidence=spec.confidence,
+        seed=spec.seed,
+    )
+    return RunResult.from_outcome(spec, outcome,
+                                  wall_seconds=time.perf_counter() - start)
+
+
+def _execute_payload(payload: dict) -> dict:
+    """Worker entry point: dict spec in, dict result out (picklable)."""
+    return execute_spec(RunSpec.from_dict(payload)).to_dict()
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache
+# ----------------------------------------------------------------------
+def default_run_cache_dir() -> Path:
+    """Directory used to cache run results.
+
+    ``REPRO_RUN_CACHE_DIR`` wins; otherwise the repository root for a
+    src-layout checkout, falling back to the working directory for
+    installed packages (where the package's grandparent is a
+    site-packages tree, not a writable project root).
+    """
+    env = os.environ.get("REPRO_RUN_CACHE_DIR")
+    if env:
+        return Path(env)
+    root = Path(__file__).resolve().parents[3]
+    if (root / "src" / "repro").is_dir():
+        return root / ".run_cache"
+    return Path.cwd() / ".run_cache"
+
+
+class ResultCache:
+    """JSON-file-per-spec result cache keyed by the spec content hash."""
+
+    def __init__(self, directory: Path | None = None, enabled: bool = True):
+        self.directory = Path(directory) if directory else default_run_cache_dir()
+        self.enabled = enabled
+
+    def path(self, spec: RunSpec) -> Path:
+        safe = spec.benchmark.replace("/", "_")
+        return self.directory / f"{safe}--{spec.key()}--v{CACHE_VERSION}.json"
+
+    def get(self, spec: RunSpec) -> RunResult | None:
+        if not self.enabled:
+            return None
+        path = self.path(spec)
+        if not path.exists():
+            return None
+        try:
+            result = RunResult.from_json(path.read_text())
+        except (ValueError, KeyError, TypeError):
+            return None  # stale or corrupt entry: treat as a miss
+        return result if result.spec == spec else None
+
+    def put(self, result: RunResult) -> None:
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path(result.spec)
+        # Per-process tmp name: concurrent writers of the same spec each
+        # rename their own file atomically (last one wins) instead of
+        # racing on a shared tmp path.
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(result.to_json())
+        tmp.replace(path)
+
+
+# ----------------------------------------------------------------------
+# Batch executor
+# ----------------------------------------------------------------------
+class Executor:
+    """Runs batches of RunSpecs with caching and optional parallelism.
+
+    ``max_workers`` <= 1 (or None) runs everything serially in-process;
+    larger values fan cache misses across a process pool.  Results come
+    back in spec order either way, and — because every spec is
+    deterministic — with identical estimates either way.
+    """
+
+    def __init__(self, max_workers: int | None = None,
+                 cache: ResultCache | None = None):
+        self.max_workers = max_workers
+        self.cache = cache if cache is not None else ResultCache()
+
+    def run(self, specs: list[RunSpec],
+            max_workers: int | None = None) -> list[RunResult]:
+        if max_workers is None:
+            max_workers = self.max_workers
+        results: list[RunResult | None] = []
+        misses: list[int] = []
+        for i, spec in enumerate(specs):
+            cached = self.cache.get(spec)
+            results.append(cached)
+            if cached is None:
+                misses.append(i)
+
+        if misses:
+            if max_workers is None or max_workers <= 1 or len(misses) == 1:
+                fresh = [execute_spec(specs[i]) for i in misses]
+            else:
+                fresh = self._run_parallel([specs[i] for i in misses],
+                                           max_workers)
+            for i, result in zip(misses, fresh):
+                self.cache.put(result)
+                results[i] = result
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _run_parallel(specs: list[RunSpec],
+                      max_workers: int) -> list[RunResult]:
+        payloads = [spec.to_dict() for spec in specs]
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork
+            context = multiprocessing.get_context()
+        workers = min(max_workers, len(specs))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            return [RunResult.from_dict(data)
+                    for data in pool.map(_execute_payload, payloads)]

@@ -1,0 +1,122 @@
+"""The Session facade: the one object user code needs.
+
+A :class:`Session` owns an :class:`~repro.api.executor.Executor` (cache
+directory, worker count) and exposes the library's workflows as a small
+declarative surface::
+
+    from repro.api import RunSpec, Session, SystematicStrategy
+
+    session = Session()
+    result = session.run(RunSpec(benchmark="gcc.syn", scale=0.2))
+    results = session.run_batch(
+        session.sweep_specs(benchmarks=["gcc.syn", "mcf.syn"],
+                            machines=["8-way", "16-way"]),
+        max_workers=4)
+
+Everything a Session produces is a :class:`~repro.api.spec.RunResult`,
+JSON-serializable and cached on disk by spec hash.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.stats import CONFIDENCE_997
+from repro.api.executor import Executor, ResultCache, execute_spec
+from repro.api.spec import RunResult, RunSpec
+from repro.api.strategies import SamplingStrategy, SystematicStrategy
+
+
+class Session:
+    """Entry point for running sampled simulations declaratively.
+
+    Args:
+        max_workers: Default worker-process count for batches; ``None``
+            or 1 runs serially.
+        cache_dir: On-disk result cache directory (default:
+            ``.run_cache`` at the repository root, or
+            ``REPRO_RUN_CACHE_DIR``).
+        use_cache: Disable to bypass the cache entirely — every run is
+            recomputed and nothing is read from or written to disk.
+    """
+
+    def __init__(self, max_workers: int | None = None,
+                 cache_dir: str | Path | None = None,
+                 use_cache: bool = True):
+        self.executor = Executor(
+            max_workers=max_workers,
+            cache=ResultCache(cache_dir, enabled=use_cache),
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, spec: RunSpec) -> RunResult:
+        """Execute one spec (through the cache)."""
+        return self.executor.run([spec])[0]
+
+    def run_batch(self, specs: Sequence[RunSpec],
+                  max_workers: int | None = None) -> list[RunResult]:
+        """Execute a batch of specs, in order, optionally in parallel.
+
+        Parallel execution produces estimates identical to the serial
+        path: every spec is deterministic and workers are forked from
+        this process.
+        """
+        return self.executor.run(list(specs), max_workers=max_workers)
+
+    # ------------------------------------------------------------------
+    # Spec builders
+    # ------------------------------------------------------------------
+    @staticmethod
+    def sweep_specs(benchmarks: Iterable[str],
+                    machines: Iterable[str] = ("8-way",),
+                    strategy: SamplingStrategy | None = None,
+                    scale: float = 0.25,
+                    metric: str = "cpi",
+                    seed: int = 0,
+                    epsilon: float = 0.075,
+                    confidence: float = CONFIDENCE_997) -> list[RunSpec]:
+        """Build the cross product benchmark x machine as RunSpecs."""
+        if strategy is None:
+            strategy = SystematicStrategy()
+        return [
+            RunSpec(benchmark=benchmark, machine=machine, strategy=strategy,
+                    scale=scale, metric=metric, seed=seed, epsilon=epsilon,
+                    confidence=confidence)
+            for benchmark in benchmarks
+            for machine in machines
+        ]
+
+    # ------------------------------------------------------------------
+    # Convenience shims (the pre-Session call shapes)
+    # ------------------------------------------------------------------
+    def estimate(self, benchmark: str, machine: str = "8-way",
+                 metric: str = "cpi", scale: float = 0.25, seed: int = 0,
+                 epsilon: float = 0.075, confidence: float = CONFIDENCE_997,
+                 strategy: SamplingStrategy | None = None,
+                 benchmark_length: int | None = None,
+                 **strategy_params) -> RunResult:
+        """One-call estimate, mirroring the old ``estimate_metric`` shape.
+
+        Extra keyword arguments (``unit_size``, ``n_init``, ...) are
+        forwarded to :class:`SystematicStrategy` when no explicit
+        strategy is given.
+        """
+        if strategy is None:
+            strategy = SystematicStrategy(**strategy_params)
+        elif strategy_params:
+            raise TypeError(
+                "pass strategy parameters inside the strategy object, "
+                f"not alongside it: {sorted(strategy_params)}")
+        return self.run(RunSpec(
+            benchmark=benchmark, machine=machine, strategy=strategy,
+            scale=scale, metric=metric, seed=seed, epsilon=epsilon,
+            confidence=confidence, benchmark_length=benchmark_length,
+        ))
+
+
+def run_spec(spec: RunSpec) -> RunResult:
+    """Execute one spec directly, bypassing session and cache."""
+    return execute_spec(spec)

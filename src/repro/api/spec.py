@@ -1,0 +1,244 @@
+"""Declarative run contracts: RunSpec in, RunResult out.
+
+A :class:`RunSpec` fully describes one sampled-simulation run —
+benchmark, machine, strategy, scale, metric, seed, and confidence
+target — and nothing else; executing the same spec twice produces the
+same estimates.  Both spec and result round-trip losslessly through
+``to_dict`` / ``from_dict`` (plain-JSON payloads), which gives the
+executor its cache key (:meth:`RunSpec.key`) and on-disk cache format
+for free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+
+from repro.core.estimates import UnitRecord
+from repro.core.stats import CONFIDENCE_997
+from repro.api.strategies import (
+    SamplingStrategy,
+    StrategyOutcome,
+    SystematicStrategy,
+    strategy_from_dict,
+)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Declarative description of one sampled-simulation run.
+
+    Args:
+        benchmark: Suite benchmark name (e.g. ``"gcc.syn"``), or
+            ``"micro.syn"`` for the tiny test benchmark.
+        machine: Machine configuration name (``"8-way"`` / ``"16-way"``,
+            resolved to the scaled Table 3 configurations).
+        strategy: The sampling strategy to run.
+        scale: Benchmark length scale factor.
+        metric: ``"cpi"`` or ``"epi"``.
+        seed: Seed threaded into seed-consuming strategies (random unit
+            selection, BBV clustering); systematic sampling ignores it.
+        epsilon: Target relative confidence-interval half-width.
+        confidence: Target confidence level.
+        benchmark_length: Optional explicit dynamic instruction count;
+            measured with a functional pass when omitted.
+    """
+
+    benchmark: str
+    machine: str = "8-way"
+    strategy: SamplingStrategy = field(default_factory=SystematicStrategy)
+    scale: float = 0.25
+    metric: str = "cpi"
+    seed: int = 0
+    epsilon: float = 0.075
+    confidence: float = CONFIDENCE_997
+    benchmark_length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("cpi", "epi"):
+            raise ValueError("metric must be 'cpi' or 'epi'")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if isinstance(self.strategy, dict):
+            object.__setattr__(self, "strategy",
+                               strategy_from_dict(self.strategy))
+
+    # ------------------------------------------------------------------
+    # Serialization / identity
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "machine": self.machine,
+            "strategy": self.strategy.to_dict(),
+            "scale": self.scale,
+            "metric": self.metric,
+            "seed": self.seed,
+            "epsilon": self.epsilon,
+            "confidence": self.confidence,
+            "benchmark_length": self.benchmark_length,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        data = dict(data)
+        data["strategy"] = strategy_from_dict(data["strategy"])
+        return cls(**data)
+
+    def key(self) -> str:
+        """Stable content hash identifying this spec (cache key)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def with_(self, **changes) -> "RunSpec":
+        """A copy of this spec with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass
+class RunResult:
+    """Everything one executed RunSpec produced.
+
+    ``estimate_mean`` / ``estimate_cv`` / ``confidence_interval`` always
+    describe the spec's requested metric over the *final* sampling run;
+    ``round_estimates`` keeps the per-round view (the SMARTS procedure
+    runs up to two rounds), and ``units`` the raw per-unit measurements
+    of the final run.
+    """
+
+    spec: RunSpec
+    estimate_mean: float
+    estimate_cv: float
+    confidence_interval: float
+    target_met: bool
+    sample_size: int
+    population_size: int
+    benchmark_length: int
+    rounds: int
+    round_estimates: list[dict] = field(default_factory=list)
+    tuned_sample_sizes: list[int] = field(default_factory=list)
+    instructions_measured: int = 0
+    instructions_detailed_warming: int = 0
+    instructions_fastforwarded: int = 0
+    detailed_fraction: float = 0.0
+    wall_seconds: float = 0.0
+    units: list[UnitRecord] = field(default_factory=list)
+    #: Strategy-specific extras (e.g. phase allocation for stratified).
+    strategy_info: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction from a strategy outcome
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_outcome(cls, spec: RunSpec, outcome: StrategyOutcome,
+                     wall_seconds: float | None = None) -> "RunResult":
+        rounds = []
+        for run in outcome.runs:
+            estimate = run.cpi if spec.metric == "cpi" else run.epi
+            rounds.append({
+                "sample_size": run.sample_size,
+                "mean": estimate.mean,
+                "cv": estimate.coefficient_of_variation,
+                "ci": estimate.confidence_interval(spec.confidence),
+            })
+        final = outcome.final_run
+        final_round = rounds[-1]
+        if wall_seconds is None:
+            wall_seconds = sum(run.wall_seconds for run in outcome.runs)
+        return cls(
+            spec=spec,
+            estimate_mean=final_round["mean"],
+            estimate_cv=final_round["cv"],
+            confidence_interval=final_round["ci"],
+            target_met=final_round["ci"] <= spec.epsilon,
+            sample_size=final.sample_size,
+            population_size=final.population_size,
+            benchmark_length=final.benchmark_length,
+            rounds=len(outcome.runs),
+            round_estimates=rounds,
+            tuned_sample_sizes=list(outcome.tuned_sample_sizes),
+            instructions_measured=sum(
+                run.instructions_measured for run in outcome.runs),
+            instructions_detailed_warming=sum(
+                run.instructions_detailed_warming for run in outcome.runs),
+            instructions_fastforwarded=sum(
+                run.instructions_fastforwarded for run in outcome.runs),
+            detailed_fraction=final.detailed_fraction,
+            wall_seconds=wall_seconds,
+            units=list(final.units),
+            strategy_info=dict(outcome.info),
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience views
+    # ------------------------------------------------------------------
+    @property
+    def initial_estimate(self) -> dict:
+        """The first round's estimate summary."""
+        return self.round_estimates[0]
+
+    def summary(self) -> dict:
+        """Compact flat dictionary for tables and quick inspection."""
+        return {
+            "benchmark": self.spec.benchmark,
+            "machine": self.spec.machine,
+            "strategy": self.spec.strategy.name,
+            "metric": self.spec.metric,
+            "estimate": self.estimate_mean,
+            "cv": self.estimate_cv,
+            "ci": self.confidence_interval,
+            "target_met": self.target_met,
+            "n": self.sample_size,
+            "rounds": self.rounds,
+            "measured_instructions": self.instructions_measured,
+            "detailed_fraction": self.detailed_fraction,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "estimate_mean": self.estimate_mean,
+            "estimate_cv": self.estimate_cv,
+            "confidence_interval": self.confidence_interval,
+            "target_met": self.target_met,
+            "sample_size": self.sample_size,
+            "population_size": self.population_size,
+            "benchmark_length": self.benchmark_length,
+            "rounds": self.rounds,
+            "round_estimates": self.round_estimates,
+            "tuned_sample_sizes": self.tuned_sample_sizes,
+            "instructions_measured": self.instructions_measured,
+            "instructions_detailed_warming": self.instructions_detailed_warming,
+            "instructions_fastforwarded": self.instructions_fastforwarded,
+            "detailed_fraction": self.detailed_fraction,
+            "wall_seconds": self.wall_seconds,
+            "units": [
+                {"index": u.index, "instructions": u.instructions,
+                 "cycles": u.cycles, "energy": u.energy}
+                for u in self.units
+            ],
+            "strategy_info": self.strategy_info,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        data = dict(data)
+        data["spec"] = RunSpec.from_dict(data["spec"])
+        data["units"] = [UnitRecord(**u) for u in data["units"]]
+        # Ignore keys this version doesn't know (e.g. the CLI's
+        # "validation" annotation, or fields added by newer versions),
+        # so annotated payloads and future cache entries still load.
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RunResult":
+        return cls.from_dict(json.loads(payload))

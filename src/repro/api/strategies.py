@@ -1,0 +1,317 @@
+"""Pluggable sampling strategies behind one registered interface.
+
+A :class:`SamplingStrategy` turns a benchmark into measured sampling
+units and an estimate.  Three strategies ship with the library:
+
+* :class:`SystematicStrategy` — the SMARTS procedure itself: systematic
+  sampling at a fixed interval with the (up to) two-step sample-size
+  tuning loop of Section 5.1.
+* :class:`RandomStrategy` — simple random sampling without replacement,
+  the paper's statistical baseline, with an explicit seed.
+* :class:`StratifiedStrategy` — per-phase allocation: BBV phase labels
+  from the SimPoint machinery (``repro.simpoint``) stratify the unit
+  population, the sample is allocated proportionally across phases, and
+  units are picked systematically within each stratum.  This puts
+  SimPoint-style phase knowledge and SMARTS-style unit sampling behind
+  the same interface.
+
+Strategies are frozen dataclasses: hashable, comparable, and
+serializable through ``to_dict`` / :func:`strategy_from_dict`, which is
+what lets :class:`~repro.api.spec.RunSpec` round-trip through JSON and
+act as a cache key.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import asdict, dataclass, field, fields
+from typing import ClassVar
+
+from repro.config.machines import MachineConfig
+from repro.core.estimates import SmartsRunResult
+from repro.core.procedure import estimate_metric, recommended_warming
+from repro.core.sampling import (
+    RandomSamplingPlan,
+    StratifiedSamplingPlan,
+    SystematicSamplingPlan,
+)
+from repro.core.smarts import run_smarts
+from repro.isa.program import Program
+
+
+@dataclass
+class StrategyOutcome:
+    """What a strategy produced: every sampling run plus bookkeeping."""
+
+    runs: list[SmartsRunResult]
+    tuned_sample_sizes: list[int] = field(default_factory=list)
+    #: Strategy-specific extras (e.g. phase allocation for stratified).
+    info: dict = field(default_factory=dict)
+
+    @property
+    def final_run(self) -> SmartsRunResult:
+        return self.runs[-1]
+
+
+class SamplingStrategy(ABC):
+    """Interface every sampling strategy implements.
+
+    Concrete strategies are frozen dataclasses whose fields are the
+    strategy's tunable parameters; ``name`` identifies the strategy in
+    the registry and in serialized RunSpecs.
+    """
+
+    name: ClassVar[str]
+
+    @abstractmethod
+    def run(
+        self,
+        program: Program,
+        machine: MachineConfig,
+        benchmark_length: int,
+        *,
+        metric: str = "cpi",
+        epsilon: float = 0.075,
+        confidence: float = 0.997,
+        seed: int = 0,
+    ) -> StrategyOutcome:
+        """Execute the strategy and return every sampling run."""
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serializable form: ``{"name": ..., "params": {...}}``."""
+        return {"name": self.name, "params": asdict(self)}
+
+    @classmethod
+    def from_params(cls, params: dict) -> "SamplingStrategy":
+        known = {f.name for f in fields(cls)}
+        unknown = set(params) - known
+        if unknown:
+            raise ValueError(
+                f"unknown parameters for strategy {cls.name!r}: {sorted(unknown)}")
+        return cls(**params)
+
+    def effective_warming(self, machine: MachineConfig) -> int:
+        """The detailed-warming length W this strategy will use."""
+        warming = getattr(self, "detailed_warming", None)
+        return recommended_warming(machine) if warming is None else warming
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+STRATEGIES: dict[str, type[SamplingStrategy]] = {}
+
+
+def register_strategy(cls: type[SamplingStrategy]) -> type[SamplingStrategy]:
+    """Class decorator adding a strategy to the global registry."""
+    if not getattr(cls, "name", None):
+        raise ValueError(f"strategy {cls.__name__} must define a name")
+    existing = STRATEGIES.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"strategy name {cls.name!r} already registered")
+    STRATEGIES[cls.name] = cls
+    return cls
+
+
+def get_strategy(name: str) -> type[SamplingStrategy]:
+    """Look up a strategy class by its registered name."""
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
+        ) from None
+
+
+def strategy_from_dict(data: dict) -> SamplingStrategy:
+    """Rebuild a strategy from its ``to_dict`` payload."""
+    return get_strategy(data["name"]).from_params(dict(data.get("params", {})))
+
+
+# ----------------------------------------------------------------------
+# Systematic (SMARTS)
+# ----------------------------------------------------------------------
+@register_strategy
+@dataclass(frozen=True)
+class SystematicStrategy(SamplingStrategy):
+    """The SMARTS procedure: systematic sampling with n-tuning.
+
+    ``detailed_warming=None`` defers to the machine's recommended W.
+    ``max_rounds`` bounds the sample-size tuning loop (the paper shows
+    two rounds suffice).
+    """
+
+    name: ClassVar[str] = "systematic"
+
+    unit_size: int = 50
+    n_init: int = 300
+    max_rounds: int = 2
+    offset: int = 0
+    detailed_warming: int | None = None
+    functional_warming: bool = True
+
+    def run(self, program, machine, benchmark_length, *, metric="cpi",
+            epsilon=0.075, confidence=0.997, seed=0) -> StrategyOutcome:
+        procedure = estimate_metric(
+            program, machine,
+            metric=metric,
+            unit_size=self.unit_size,
+            detailed_warming=self.effective_warming(machine),
+            functional_warming=self.functional_warming,
+            epsilon=epsilon,
+            confidence=confidence,
+            n_init=self.n_init,
+            max_rounds=self.max_rounds,
+            offset=self.offset,
+            benchmark_length=benchmark_length,
+        )
+        return StrategyOutcome(
+            runs=list(procedure.runs),
+            tuned_sample_sizes=list(procedure.tuned_sample_sizes),
+        )
+
+
+# ----------------------------------------------------------------------
+# Random
+# ----------------------------------------------------------------------
+@register_strategy
+@dataclass(frozen=True)
+class RandomStrategy(SamplingStrategy):
+    """Simple random sampling of ``sample_size`` units, seeded explicitly.
+
+    The selection seed is ``seed + seed_offset`` where ``seed`` comes
+    from the RunSpec, so sweeps over seeds reproduce by construction.
+    """
+
+    name: ClassVar[str] = "random"
+
+    unit_size: int = 50
+    sample_size: int = 300
+    seed_offset: int = 0
+    detailed_warming: int | None = None
+    functional_warming: bool = True
+
+    def run(self, program, machine, benchmark_length, *, metric="cpi",
+            epsilon=0.075, confidence=0.997, seed=0) -> StrategyOutcome:
+        plan = RandomSamplingPlan(
+            unit_size=self.unit_size,
+            sample_size=self.sample_size,
+            seed=seed + self.seed_offset,
+            detailed_warming=self.effective_warming(machine),
+            functional_warming=self.functional_warming,
+        )
+        run = run_smarts(program, machine, plan, benchmark_length,
+                         measure_energy=(metric == "epi"))
+        return StrategyOutcome(runs=[run], info={"plan_seed": plan.seed})
+
+
+# ----------------------------------------------------------------------
+# Stratified (BBV phases)
+# ----------------------------------------------------------------------
+@register_strategy
+@dataclass(frozen=True)
+class StratifiedStrategy(SamplingStrategy):
+    """Phase-stratified sampling using BBV cluster labels.
+
+    The benchmark is profiled into basic block vectors at a granularity
+    of ``units_per_interval`` sampling units per interval, the intervals
+    are clustered into at most ``max_phases`` phases (the SimPoint
+    machinery), and the total ``sample_size`` is allocated across phases
+    proportionally to their unit populations (largest-remainder method).
+    Within each phase the allocated units are picked systematically, so
+    the whole design is deterministic given the RunSpec seed.
+    """
+
+    name: ClassVar[str] = "stratified"
+
+    unit_size: int = 50
+    sample_size: int = 300
+    units_per_interval: int = 20
+    max_phases: int = 6
+    detailed_warming: int | None = None
+    functional_warming: bool = True
+
+    def build_plan(self, program: Program, benchmark_length: int,
+                   machine: MachineConfig, seed: int = 0
+                   ) -> tuple[StratifiedSamplingPlan, dict]:
+        """Profile, cluster, allocate, and select the unit indices."""
+        from repro.simpoint.bbv import profile_bbv, project_vectors
+        from repro.simpoint.kmeans import choose_clustering
+
+        population = benchmark_length // self.unit_size
+        if population <= 0:
+            raise ValueError("benchmark shorter than one sampling unit")
+        interval_size = self.unit_size * self.units_per_interval
+        profile = profile_bbv(program, interval_size,
+                              max_instructions=benchmark_length)
+        projected = project_vectors(profile, seed=seed)
+        clustering = choose_clustering(projected, max_k=self.max_phases,
+                                       seed=seed)
+
+        # Group the unit population into strata by phase label.
+        strata: dict[int, list[int]] = {}
+        num_intervals = profile.num_intervals
+        for unit_index in range(population):
+            interval = min(unit_index // self.units_per_interval,
+                           num_intervals - 1)
+            label = int(clustering.labels[interval])
+            strata.setdefault(label, []).append(unit_index)
+
+        # Proportional allocation via largest remainder.  The total is a
+        # hard budget: it is never exceeded, even when there are more
+        # phases than units to hand out.
+        total = min(self.sample_size, population)
+        labels = sorted(strata)
+        quotas = {lbl: total * len(strata[lbl]) / population for lbl in labels}
+        allocation = {lbl: int(quotas[lbl]) for lbl in labels}
+        remainder = total - sum(allocation.values())
+        by_remainder = sorted(labels,
+                              key=lambda lbl: quotas[lbl] - int(quotas[lbl]),
+                              reverse=True)
+        for lbl in by_remainder[:remainder]:
+            allocation[lbl] += 1
+        # Prefer covering every phase when the budget allows: shift one
+        # unit from the largest allocation to each uncovered stratum.
+        for lbl in labels:
+            if allocation[lbl] > 0:
+                continue
+            donor = max(labels, key=lambda l: allocation[l])
+            if allocation[donor] <= 1:
+                break
+            allocation[donor] -= 1
+            allocation[lbl] = 1
+
+        # Systematic selection within each stratum.
+        chosen: list[int] = []
+        for lbl in labels:
+            members = strata[lbl]
+            count = min(allocation[lbl], len(members))
+            if count == 0:
+                continue
+            stride = len(members) / count
+            chosen.extend(members[int(i * stride + stride / 2)]
+                          for i in range(count))
+
+        plan = StratifiedSamplingPlan(
+            unit_size=self.unit_size,
+            unit_indices=tuple(sorted(set(chosen))),
+            detailed_warming=self.effective_warming(machine),
+            functional_warming=self.functional_warming,
+        )
+        info = {
+            "phases": clustering.k,
+            "allocation": {str(lbl): allocation[lbl] for lbl in labels},
+            "stratum_sizes": {str(lbl): len(strata[lbl]) for lbl in labels},
+        }
+        return plan, info
+
+    def run(self, program, machine, benchmark_length, *, metric="cpi",
+            epsilon=0.075, confidence=0.997, seed=0) -> StrategyOutcome:
+        plan, info = self.build_plan(program, benchmark_length, machine,
+                                     seed=seed)
+        run = run_smarts(program, machine, plan, benchmark_length,
+                         measure_energy=(metric == "epi"))
+        return StrategyOutcome(runs=[run], info=info)

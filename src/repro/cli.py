@@ -1,11 +1,15 @@
 """Command line interface for the SMARTS reproduction.
 
-The CLI exposes the library's main workflows without writing any Python:
+The CLI is a thin veneer over :mod:`repro.api` (the library's unified
+session layer) and exposes the main workflows without writing any
+Python:
 
 * ``repro-smarts list`` — show the synthetic benchmark suite.
 * ``repro-smarts estimate gcc.syn`` — estimate CPI (or EPI) with the
   SMARTS two-step procedure, optionally validating against a full
   detailed run.
+* ``repro-smarts sweep --benchmarks gcc.syn,mcf.syn --workers 4`` — run
+  a batch of estimates across benchmarks and machines in parallel.
 * ``repro-smarts reference gcc.syn`` — run the full-stream detailed
   simulation and report CPI, EPI, and miss rates.
 * ``repro-smarts simpoint gcc.syn`` — run the SimPoint baseline.
@@ -14,40 +18,32 @@ The CLI exposes the library's main workflows without writing any Python:
 
 Every command accepts ``--machine {8-way,16-way}`` (the scaled Table 3
 configurations) and ``--scale`` to control benchmark length.
+``estimate``, ``sweep``, and ``experiment`` accept ``--json`` to emit
+machine-readable payloads (``RunResult.to_dict()`` for estimates and
+sweeps) instead of text tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
-from repro.config import scaled_16way, scaled_8way
-from repro.core.procedure import estimate_metric, recommended_warming
-from repro.harness import experiments as exp
-from repro.harness.reference import run_reference
-from repro.harness.reporting import format_table
-from repro.simpoint import run_simpoint
-from repro.workloads import SUITE_NAMES, get_benchmark, suite_specs
-
-#: Experiment name -> harness entry point.
-EXPERIMENTS = {
-    "table3": exp.table3_configurations,
-    "fig2": exp.figure2_cv_curves,
-    "fig3": exp.figure3_minimum_instructions,
-    "fig4": exp.figure4_speed_model,
-    "fig5": exp.figure5_optimal_unit_size,
-    "table4": exp.table4_detailed_warming,
-    "table5": exp.table5_functional_warming_bias,
-    "fig6": exp.figure6_cpi_estimates,
-    "fig7": exp.figure7_epi_estimates,
-    "table6": exp.table6_runtimes,
-    "fig8": exp.figure8_simpoint_comparison,
-}
-
-
-def _machine(name: str):
-    return scaled_8way() if name == "8-way" else scaled_16way()
+from repro.api import (
+    EXPERIMENTS,
+    STRATEGIES,
+    RunSpec,
+    Session,
+    SystematicStrategy,
+    SUITE_NAMES,
+    format_table,
+    resolve_machine,
+    run_reference,
+    run_simpoint,
+    get_benchmark,
+    suite_specs,
+)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -87,6 +83,30 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--validate", action="store_true",
                           help="also run the full detailed reference and "
                                "report the actual error")
+    estimate.add_argument("--json", action="store_true",
+                          help="emit the RunResult payload as JSON")
+    estimate.add_argument("--no-cache", action="store_true",
+                          help="bypass the on-disk run-result cache")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a batch of estimates across benchmarks/machines")
+    sweep.add_argument("--benchmarks", default=None,
+                       help="comma-separated benchmark names (default: all)")
+    sweep.add_argument("--machines", default="8-way",
+                       help="comma-separated machine names")
+    sweep.add_argument("--strategy", choices=sorted(STRATEGIES),
+                       default="systematic")
+    sweep.add_argument("--scale", type=float, default=0.25,
+                       help="benchmark length scale factor")
+    sweep.add_argument("--metric", choices=["cpi", "epi"], default="cpi")
+    sweep.add_argument("--epsilon", type=float, default=0.075)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="parallel worker processes (default: serial)")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit the RunResult payloads as JSON")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk run-result cache")
 
     reference = sub.add_parser(
         "reference", help="run full-stream detailed simulation")
@@ -104,8 +124,42 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--json", action="store_true",
+                            help="emit the experiment data as JSON "
+                                 "(without the text report)")
 
     return parser
+
+
+def _to_jsonable(value):
+    """Recursively convert experiment data into JSON-encodable values."""
+    import dataclasses
+
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {_key_str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _to_jsonable(dataclasses.asdict(value))
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _key_str(key):
+    if isinstance(key, str):
+        return key
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
 
 
 # ----------------------------------------------------------------------
@@ -120,50 +174,119 @@ def _cmd_list() -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    machine = _machine(args.machine)
-    benchmark = get_benchmark(args.benchmark, scale=args.scale)
-    warming = args.warming
-    if warming is None:
-        warming = recommended_warming(machine)
-    result = estimate_metric(
-        benchmark.program, machine,
-        metric=args.metric,
+    machine = resolve_machine(args.machine)
+    # Leave detailed_warming=None when not given explicitly: the strategy
+    # defers to the machine recommendation, and the spec hash stays
+    # shareable with sweep/example runs that also use the default.
+    strategy = SystematicStrategy(
         unit_size=args.unit_size,
-        detailed_warming=warming,
-        functional_warming=not args.no_functional_warming,
-        epsilon=args.epsilon,
-        confidence=args.confidence,
         n_init=args.n_init,
         max_rounds=args.rounds,
+        detailed_warming=args.warming,
+        functional_warming=not args.no_functional_warming,
     )
-    estimate = result.estimate
+    warming = strategy.effective_warming(machine)
+    spec = RunSpec(
+        benchmark=args.benchmark,
+        machine=args.machine,
+        strategy=strategy,
+        scale=args.scale,
+        metric=args.metric,
+        epsilon=args.epsilon,
+        confidence=args.confidence,
+    )
+    session = Session(use_cache=not args.no_cache)
+    result = session.run(spec)
+
+    validation = None
+    if args.validate:
+        benchmark = get_benchmark(args.benchmark, scale=args.scale)
+        reference = run_reference(benchmark.program, machine)
+        true_value = reference.cpi if args.metric == "cpi" else reference.epi
+        validation = {
+            "true_value": true_value,
+            "error": (result.estimate_mean - true_value) / true_value,
+        }
+
+    if args.json:
+        payload = result.to_dict()
+        if validation is not None:
+            payload["validation"] = validation
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
     label = args.metric.upper()
-    print(f"benchmark            : {benchmark.name} "
+    print(f"benchmark            : {args.benchmark} "
           f"({result.benchmark_length:,} instructions)")
     print(f"machine              : {machine.name}")
     print(f"U / W / warming mode : {args.unit_size} / {warming} / "
           f"{'functional' if not args.no_functional_warming else 'detailed-only'}")
-    print(f"{label} estimate         : {estimate.mean:.4f}")
-    print(f"coefficient of var.  : {estimate.coefficient_of_variation:.3f}")
+    print(f"{label} estimate         : {result.estimate_mean:.4f}")
+    print(f"coefficient of var.  : {result.estimate_cv:.3f}")
     print(f"confidence interval  : ±{result.confidence_interval:.2%} "
           f"at {args.confidence:.1%} confidence "
           f"({'target met' if result.target_met else 'target NOT met'})")
-    print(f"sampling rounds      : {len(result.runs)} "
-          f"(n = {[run.sample_size for run in result.runs]})")
-    print(f"measured instructions: {result.total_measured_instructions:,} "
-          f"({result.total_measured_instructions / result.benchmark_length:.2%} "
+    print(f"sampling rounds      : {result.rounds} "
+          f"(n = {[r['sample_size'] for r in result.round_estimates]})")
+    print(f"measured instructions: {result.instructions_measured:,} "
+          f"({result.instructions_measured / result.benchmark_length:.2%} "
           f"of the stream)")
-    if args.validate:
-        reference = run_reference(benchmark.program, machine)
-        true_value = reference.cpi if args.metric == "cpi" else reference.epi
-        error = (estimate.mean - true_value) / true_value
-        print(f"true {label} (full run)  : {true_value:.4f}")
-        print(f"actual error         : {error:+.2%}")
+    if validation is not None:
+        print(f"true {label} (full run)  : {validation['true_value']:.4f}")
+        print(f"actual error         : {validation['error']:+.2%}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    benchmarks = ([name.strip() for name in args.benchmarks.split(",") if name.strip()]
+                  if args.benchmarks else list(SUITE_NAMES))
+    unknown = [name for name in benchmarks if name not in SUITE_NAMES]
+    if unknown:
+        print(f"error: unknown benchmark(s) {', '.join(unknown)}; "
+              f"available: {', '.join(SUITE_NAMES)}", file=sys.stderr)
+        return 2
+    machines = [name.strip() for name in args.machines.split(",") if name.strip()]
+    unknown = [name for name in machines if name not in ("8-way", "16-way")]
+    if unknown:
+        print(f"error: unknown machine(s) {', '.join(unknown)}; "
+              f"available: 8-way, 16-way", file=sys.stderr)
+        return 2
+    strategy = STRATEGIES[args.strategy]()
+    session = Session(use_cache=not args.no_cache)
+    specs = session.sweep_specs(
+        benchmarks=benchmarks, machines=machines, strategy=strategy,
+        scale=args.scale, metric=args.metric, seed=args.seed,
+        epsilon=args.epsilon)
+    results = session.run_batch(specs, max_workers=args.workers)
+
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results],
+                         indent=2, sort_keys=True))
+        return 0
+
+    rows = []
+    for result in results:
+        rows.append([
+            result.spec.benchmark,
+            result.spec.machine,
+            f"{result.estimate_mean:.4f}",
+            f"±{result.confidence_interval:.2%}",
+            "yes" if result.target_met else "no",
+            result.sample_size,
+            f"{result.detailed_fraction:.2%}",
+            f"{result.wall_seconds:.1f}s",
+        ])
+    print(format_table(
+        ["benchmark", "machine", f"{args.metric.upper()}", "99.7% CI",
+         "target met", "n", "detailed fraction", "wall"],
+        rows,
+        title=f"Sweep: {args.strategy} strategy over "
+              f"{len(benchmarks)} benchmarks x {len(machines)} machines"))
     return 0
 
 
 def _cmd_reference(args: argparse.Namespace) -> int:
-    machine = _machine(args.machine)
+    machine = resolve_machine(args.machine)
     benchmark = get_benchmark(args.benchmark, scale=args.scale)
     reference = run_reference(benchmark.program, machine,
                               use_cache=not args.no_cache)
@@ -178,7 +301,7 @@ def _cmd_reference(args: argparse.Namespace) -> int:
 
 
 def _cmd_simpoint(args: argparse.Namespace) -> int:
-    machine = _machine(args.machine)
+    machine = resolve_machine(args.machine)
     benchmark = get_benchmark(args.benchmark, scale=args.scale)
     result = run_simpoint(benchmark.program, machine,
                           interval_size=args.interval_size,
@@ -193,9 +316,14 @@ def _cmd_simpoint(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(name: str) -> int:
-    ctx = exp.default_context()
-    data = EXPERIMENTS[name](ctx)
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    data = EXPERIMENTS[args.name]()
+    if args.json:
+        payload = {key: _to_jsonable(value)
+                   for key, value in data.items() if key != "report"}
+        print(json.dumps({"experiment": args.name, "data": payload},
+                         indent=2, sort_keys=True))
+        return 0
     print(data["report"])
     return 0
 
@@ -208,12 +336,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "estimate":
         return _cmd_estimate(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "reference":
         return _cmd_reference(args)
     if args.command == "simpoint":
         return _cmd_simpoint(args)
     if args.command == "experiment":
-        return _cmd_experiment(args.name)
+        return _cmd_experiment(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

@@ -1,10 +1,14 @@
-"""Sampling designs: systematic and random sampling plans.
+"""Sampling designs: systematic, random, and stratified sampling plans.
 
 A *sampling unit* is U consecutive instructions of the benchmark's
 dynamic instruction stream (Section 3.1).  A plan decides which unit
 indices are measured in detail.  SMARTS uses systematic sampling (fixed
 interval k, offset j); random sampling is provided for tests and for the
-homogeneity ablation.
+homogeneity ablation; stratified sampling selects explicit unit indices
+(per-phase allocations computed elsewhere, e.g. from BBV phase labels).
+
+Every plan satisfies the :class:`SamplingPlan` protocol consumed by
+:class:`~repro.core.smarts.SmartsEngine`.
 """
 
 from __future__ import annotations
@@ -12,7 +16,20 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class SamplingPlan(Protocol):
+    """Structural interface every sampling plan provides to the engine."""
+
+    unit_size: int
+    detailed_warming: int
+    functional_warming: bool
+
+    def units(self, benchmark_length: int) -> Iterator["SamplingUnit"]:
+        """Yield the selected sampling units in ascending stream order."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -135,7 +152,13 @@ class SystematicSamplingPlan:
 
 @dataclass(frozen=True)
 class RandomSamplingPlan:
-    """Simple random sampling of ``sample_size`` units (for comparison)."""
+    """Simple random sampling of ``sample_size`` units (for comparison).
+
+    Unit selection is driven by an explicit :class:`random.Random`
+    derived from ``seed`` (or passed directly to :meth:`units`), never by
+    the module-global generator, so the same plan always selects the same
+    units regardless of surrounding code.
+    """
 
     unit_size: int
     sample_size: int
@@ -152,15 +175,23 @@ class RandomSamplingPlan:
     def population_size(self, benchmark_length: int) -> int:
         return benchmark_length // self.unit_size
 
-    def units(self, benchmark_length: int) -> Iterator[SamplingUnit]:
+    def rng(self) -> random.Random:
+        """A fresh generator in this plan's seeded initial state."""
+        return random.Random(self.seed)
+
+    def units(self, benchmark_length: int,
+              rng: random.Random | None = None) -> Iterator[SamplingUnit]:
         """Yield the selected units in ascending order.
 
         Selection without replacement; if the population is smaller than
-        the requested sample every unit is selected.
+        the requested sample every unit is selected.  ``rng`` overrides
+        the plan's own seeded generator when callers need to thread one
+        generator through several selections.
         """
         population = self.population_size(benchmark_length)
         count = min(self.sample_size, population)
-        rng = random.Random(self.seed)
+        if rng is None:
+            rng = self.rng()
         chosen = sorted(rng.sample(range(population), count))
         for index in chosen:
             yield SamplingUnit(
@@ -168,6 +199,57 @@ class RandomSamplingPlan:
 
     def detailed_instructions(self, benchmark_length: int) -> int:
         count = min(self.sample_size, self.population_size(benchmark_length))
+        return count * (self.unit_size + self.detailed_warming)
+
+
+@dataclass(frozen=True)
+class StratifiedSamplingPlan:
+    """Sampling of an explicit, precomputed set of unit indices.
+
+    Used for stratified designs where an external analysis (e.g. BBV
+    phase clustering, see ``repro.api.strategies.StratifiedStrategy``)
+    allocates the sample across program phases and picks concrete units
+    within each stratum.  The plan itself is a plain ordered index set,
+    so it serializes trivially and replays identically.
+    """
+
+    unit_size: int
+    unit_indices: tuple[int, ...]
+    detailed_warming: int = 0
+    functional_warming: bool = True
+
+    def __post_init__(self) -> None:
+        if self.unit_size <= 0:
+            raise ValueError("unit_size must be positive")
+        if not self.unit_indices:
+            raise ValueError("unit_indices must not be empty")
+        if any(i < 0 for i in self.unit_indices):
+            raise ValueError("unit indices must be non-negative")
+        ordered = tuple(sorted(set(self.unit_indices)))
+        if ordered != self.unit_indices:
+            object.__setattr__(self, "unit_indices", ordered)
+        if self.detailed_warming < 0:
+            raise ValueError("detailed_warming must be non-negative")
+
+    @property
+    def sample_size(self) -> int:
+        return len(self.unit_indices)
+
+    def population_size(self, benchmark_length: int) -> int:
+        return benchmark_length // self.unit_size
+
+    def units(self, benchmark_length: int) -> Iterator[SamplingUnit]:
+        """Yield the plan's units, skipping any beyond the population."""
+        population = self.population_size(benchmark_length)
+        for index in self.unit_indices:
+            if index >= population:
+                break
+            yield SamplingUnit(
+                index=index, start=index * self.unit_size, size=self.unit_size)
+
+    def detailed_instructions(self, benchmark_length: int) -> int:
+        population = self.population_size(benchmark_length)
+        count = sum(1 for i in self.unit_indices if i < population)
         return count * (self.unit_size + self.detailed_warming)
 
 

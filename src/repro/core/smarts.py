@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 from repro.config.machines import MachineConfig
 from repro.core.estimates import SmartsRunResult, UnitRecord
-from repro.core.sampling import SystematicSamplingPlan
+from repro.core.sampling import SamplingPlan
 from repro.detailed.pipeline import DetailedSimulator
 from repro.detailed.state import MicroarchState
 from repro.energy.wattch import EnergyModel
@@ -43,7 +43,7 @@ class SmartsEngine:
     def run(
         self,
         program: Program,
-        plan: SystematicSamplingPlan,
+        plan: SamplingPlan,
         benchmark_length: int,
         cold_start: bool = True,
     ) -> SmartsRunResult:
@@ -51,7 +51,9 @@ class SmartsEngine:
 
         Args:
             program: The benchmark program.
-            plan: Systematic sampling parameters (U, k, j, W, warming).
+            plan: Any :class:`~repro.core.sampling.SamplingPlan`
+                (systematic U/k/j, random, or stratified) plus its
+                warming parameters.
             benchmark_length: Dynamic instruction count of the benchmark
                 (the population is ``benchmark_length // U`` units).
             cold_start: When True (default) the run begins with cold
@@ -74,8 +76,10 @@ class SmartsEngine:
             benchmark=program.name,
             machine=self.machine.name,
             unit_size=plan.unit_size,
-            interval=plan.interval,
-            offset=plan.offset,
+            # Non-systematic plans have no fixed interval/offset; record
+            # the degenerate values so results stay uniform downstream.
+            interval=getattr(plan, "interval", 0),
+            offset=getattr(plan, "offset", 0),
             detailed_warming=plan.detailed_warming,
             functional_warming=plan.functional_warming,
             benchmark_length=benchmark_length,
@@ -142,7 +146,7 @@ class SmartsEngine:
 def run_smarts(
     program: Program,
     machine: MachineConfig,
-    plan: SystematicSamplingPlan,
+    plan: SamplingPlan,
     benchmark_length: int,
     measure_energy: bool = True,
 ) -> SmartsRunResult:

@@ -12,6 +12,11 @@ Scaling: the experiments run the synthetic suite at a configurable scale
 the paper's canonical values in the same proportion as the benchmark
 lengths (see EXPERIMENTS.md).  ``REPRO_SUITE`` selects a benchmark
 subset, and ``REPRO_FAST=1`` shrinks the most expensive sweeps.
+
+Suite-wide estimation sweeps (Figures 6/7/8) go through the
+:mod:`repro.api` session layer: each (machine, benchmark) cell becomes a
+:class:`~repro.api.spec.RunSpec`, executed — optionally in parallel,
+``REPRO_WORKERS=N`` — with on-disk result caching by spec hash.
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ from repro.core.perf_model import (
     runtime_seconds,
     speedup_over_detailed,
 )
-from repro.core.procedure import estimate_metric, recommended_warming
+from repro.core.procedure import recommended_warming
 from repro.core.stats import CONFIDENCE_997, required_sample_size
 from repro.harness.bias import measure_bias, required_detailed_warming
 from repro.harness.cv_analysis import (
@@ -66,6 +71,9 @@ class ExperimentContext:
     epsilon: float = 0.075
     confidence: float = CONFIDENCE_997
     use_cache: bool = True
+    #: Worker processes for suite sweeps (0/None = serial; REPRO_WORKERS).
+    max_workers: int | None = field(
+        default_factory=lambda: int(os.environ.get("REPRO_WORKERS") or 0) or None)
 
     def __post_init__(self) -> None:
         if not self.suite_names:
@@ -78,6 +86,7 @@ class ExperimentContext:
         self._lengths: dict[str, int] = {}
         self._references: dict[tuple[str, str], ReferenceResult] = {}
         self._machines = {"8-way": scaled_8way(), "16-way": scaled_16way()}
+        self._session = None
 
     # ------------------------------------------------------------------
     # Machines / benchmarks / references
@@ -121,6 +130,56 @@ class ExperimentContext:
         names = [n for n in preferred if n in self.suite_names]
         names += [n for n in self.suite_names if n not in names]
         return names[:count]
+
+    # ------------------------------------------------------------------
+    # Session-layer sweeps
+    # ------------------------------------------------------------------
+    @property
+    def session(self):
+        """The :class:`repro.api.Session` used for suite sweeps."""
+        if self._session is None:
+            from repro.api import Session
+
+            self._session = Session(max_workers=self.max_workers,
+                                    use_cache=self.use_cache)
+        return self._session
+
+    def estimation_spec(self, benchmark_name: str, machine_name: str,
+                        metric: str = "cpi", max_rounds: int = 2):
+        """The RunSpec for one suite-sweep cell (Fig 6/7/8 style)."""
+        from repro.api import RunSpec, SystematicStrategy
+
+        machine = self.machine(machine_name)
+        return RunSpec(
+            benchmark=benchmark_name,
+            machine=machine_name,
+            strategy=SystematicStrategy(
+                unit_size=self.unit_size,
+                n_init=self.n_init,
+                max_rounds=max_rounds,
+                detailed_warming=self.warming(machine),
+                functional_warming=True,
+            ),
+            scale=self.scale,
+            metric=metric,
+            epsilon=self.epsilon,
+            confidence=self.confidence,
+            benchmark_length=self.reference(benchmark_name,
+                                            machine_name).instructions,
+        )
+
+    def run_estimations(self, cells: list[tuple[str, str]],
+                        metric: str = "cpi", max_rounds: int = 2) -> dict:
+        """Execute a batch of (machine, benchmark) estimation cells.
+
+        Returns ``{(machine, benchmark): RunResult}``; execution is
+        parallel across cells when ``max_workers`` is set.
+        """
+        specs = [self.estimation_spec(benchmark, machine, metric=metric,
+                                      max_rounds=max_rounds)
+                 for machine, benchmark in cells]
+        results = self.session.run_batch(specs)
+        return dict(zip(cells, results))
 
 
 @lru_cache(maxsize=1)
@@ -450,45 +509,38 @@ def table5_functional_warming_bias(ctx: ExperimentContext,
 def figure6_cpi_estimates(ctx: ExperimentContext,
                           machine_names: tuple[str, ...] = ("8-way", "16-way"),
                           metric: str = "cpi") -> dict:
-    """Figure 6 (CPI) / Figure 7 (EPI): estimation error vs confidence interval."""
+    """Figure 6 (CPI) / Figure 7 (EPI): estimation error vs confidence interval.
+
+    The suite sweep runs through the :mod:`repro.api` session layer: one
+    RunSpec per (machine, benchmark) cell, batch-executed (in parallel
+    when ``ctx.max_workers`` is set) with on-disk result caching.
+    """
+    cells = [(machine_name, name)
+             for machine_name in machine_names
+             for name in ctx.suite_names]
+    results = ctx.run_estimations(cells, metric=metric, max_rounds=2)
+
     entries: dict[tuple[str, str], dict] = {}
-    for machine_name in machine_names:
-        machine = ctx.machine(machine_name)
-        for name in ctx.suite_names:
-            benchmark = ctx.benchmark(name)
-            reference = ctx.reference(name, machine_name)
-            procedure = estimate_metric(
-                benchmark.program, machine,
-                metric=metric,
-                unit_size=ctx.unit_size,
-                detailed_warming=ctx.warming(machine),
-                functional_warming=True,
-                epsilon=ctx.epsilon,
-                confidence=ctx.confidence,
-                n_init=ctx.n_init,
-                max_rounds=2,
-                benchmark_length=reference.instructions,
-            )
-            true_value = reference.cpi if metric == "cpi" else reference.epi
-            initial = procedure.initial_run
-            initial_estimate = initial.cpi if metric == "cpi" else initial.epi
-            final_estimate = procedure.estimate
-            entries[(machine_name, name)] = {
-                "true": true_value,
-                "initial_estimate": initial_estimate.mean,
-                "initial_ci": initial_estimate.confidence_interval(ctx.confidence),
-                "initial_error": (initial_estimate.mean - true_value) / true_value,
-                "final_estimate": final_estimate.mean,
-                "final_ci": procedure.confidence_interval,
-                "final_error": (final_estimate.mean - true_value) / true_value,
-                "rounds": len(procedure.runs),
-                "n_final": procedure.final_run.sample_size,
-                "tuned_n": (procedure.tuned_sample_sizes[-1]
-                            if procedure.tuned_sample_sizes else None),
-                "measured_instructions": procedure.total_measured_instructions,
-                "detailed_fraction": procedure.final_run.detailed_fraction,
-                "target_met": procedure.target_met,
-            }
+    for (machine_name, name), result in results.items():
+        reference = ctx.reference(name, machine_name)
+        true_value = reference.cpi if metric == "cpi" else reference.epi
+        initial = result.initial_estimate
+        entries[(machine_name, name)] = {
+            "true": true_value,
+            "initial_estimate": initial["mean"],
+            "initial_ci": initial["ci"],
+            "initial_error": (initial["mean"] - true_value) / true_value,
+            "final_estimate": result.estimate_mean,
+            "final_ci": result.confidence_interval,
+            "final_error": (result.estimate_mean - true_value) / true_value,
+            "rounds": result.rounds,
+            "n_final": result.sample_size,
+            "tuned_n": (result.tuned_sample_sizes[-1]
+                        if result.tuned_sample_sizes else None),
+            "measured_instructions": result.instructions_measured,
+            "detailed_fraction": result.detailed_fraction,
+            "target_met": result.target_met,
+        }
 
     rows = []
     for (machine_name, name), entry in sorted(
@@ -609,6 +661,10 @@ def figure8_simpoint_comparison(ctx: ExperimentContext,
         # roughly 1/100 of a benchmark here.
         interval_size = max(1000, ctx.unit_size * 50)
 
+    smarts_results = ctx.run_estimations(
+        [(machine_name, name) for name in benchmark_names],
+        metric="cpi", max_rounds=1)
+
     entries: dict[str, dict] = {}
     for name in benchmark_names:
         benchmark = ctx.benchmark(name)
@@ -618,25 +674,14 @@ def figure8_simpoint_comparison(ctx: ExperimentContext,
         simpoint = run_simpoint(
             benchmark.program, machine, interval_size=interval_size,
             max_clusters=max_clusters, measure_energy=False)
-        smarts = estimate_metric(
-            benchmark.program, machine,
-            metric="cpi",
-            unit_size=ctx.unit_size,
-            detailed_warming=ctx.warming(machine),
-            functional_warming=True,
-            epsilon=ctx.epsilon,
-            confidence=ctx.confidence,
-            n_init=ctx.n_init,
-            max_rounds=1,
-            benchmark_length=reference.instructions,
-        )
+        smarts = smarts_results[(machine_name, name)]
         entries[name] = {
             "true_cpi": true_cpi,
             "simpoint_cpi": simpoint.cpi,
             "simpoint_error": (simpoint.cpi - true_cpi) / true_cpi,
             "simpoint_clusters": simpoint.num_clusters,
-            "smarts_cpi": smarts.estimate.mean,
-            "smarts_error": (smarts.estimate.mean - true_cpi) / true_cpi,
+            "smarts_cpi": smarts.estimate_mean,
+            "smarts_error": (smarts.estimate_mean - true_cpi) / true_cpi,
             "smarts_ci": smarts.confidence_interval,
         }
 

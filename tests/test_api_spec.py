@@ -1,0 +1,156 @@
+"""Tests for the repro.api contracts: strategies, RunSpec, RunResult."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    STRATEGIES,
+    RandomStrategy,
+    RunResult,
+    RunSpec,
+    SamplingStrategy,
+    StratifiedStrategy,
+    SystematicStrategy,
+    get_strategy,
+    register_strategy,
+    strategy_from_dict,
+)
+from repro.core.estimates import UnitRecord
+
+
+class TestStrategyRegistry:
+    def test_builtin_strategies_registered(self):
+        assert STRATEGIES["systematic"] is SystematicStrategy
+        assert STRATEGIES["random"] is RandomStrategy
+        assert STRATEGIES["stratified"] is StratifiedStrategy
+
+    def test_get_strategy_dispatch(self):
+        assert get_strategy("systematic") is SystematicStrategy
+        assert get_strategy("random") is RandomStrategy
+
+    def test_get_strategy_unknown(self):
+        with pytest.raises(KeyError, match="unknown strategy"):
+            get_strategy("quantum")
+
+    def test_strategy_roundtrip_through_dict(self):
+        strategy = RandomStrategy(unit_size=25, sample_size=77, seed_offset=3)
+        rebuilt = strategy_from_dict(strategy.to_dict())
+        assert rebuilt == strategy
+        assert isinstance(rebuilt, RandomStrategy)
+
+    def test_from_params_rejects_unknown_parameters(self):
+        with pytest.raises(ValueError, match="unknown parameters"):
+            strategy_from_dict({"name": "systematic",
+                                "params": {"warp_factor": 9}})
+
+    def test_duplicate_name_rejected(self):
+        from dataclasses import dataclass
+        from typing import ClassVar
+
+        with pytest.raises(ValueError, match="already registered"):
+            @register_strategy
+            @dataclass(frozen=True)
+            class Impostor(SamplingStrategy):
+                name: ClassVar[str] = "systematic"
+
+                def run(self, *args, **kwargs):
+                    raise NotImplementedError
+
+    def test_custom_strategy_registration(self):
+        from dataclasses import dataclass
+        from typing import ClassVar
+
+        @register_strategy
+        @dataclass(frozen=True)
+        class EveryNth(SamplingStrategy):
+            name: ClassVar[str] = "test-every-nth"
+            n: int = 10
+
+            def run(self, *args, **kwargs):
+                raise NotImplementedError
+
+        try:
+            assert get_strategy("test-every-nth") is EveryNth
+            assert strategy_from_dict(
+                {"name": "test-every-nth", "params": {"n": 4}}) == EveryNth(n=4)
+        finally:
+            del STRATEGIES["test-every-nth"]
+
+
+class TestRunSpec:
+    def test_json_roundtrip_equality(self):
+        spec = RunSpec(
+            benchmark="gcc.syn",
+            machine="16-way",
+            strategy=StratifiedStrategy(unit_size=25, sample_size=120,
+                                        max_phases=4),
+            scale=0.1,
+            metric="epi",
+            seed=42,
+            epsilon=0.05,
+            confidence=0.95,
+            benchmark_length=123456,
+        )
+        payload = json.dumps(spec.to_dict())
+        rebuilt = RunSpec.from_dict(json.loads(payload))
+        assert rebuilt == spec
+        assert rebuilt.key() == spec.key()
+
+    def test_key_distinguishes_specs(self):
+        base = RunSpec(benchmark="gcc.syn")
+        assert base.key() != base.with_(seed=1).key()
+        assert base.key() != base.with_(machine="16-way").key()
+        assert base.key() != base.with_(
+            strategy=RandomStrategy()).key()
+        # Same content, fresh objects -> same key.
+        assert base.key() == RunSpec(benchmark="gcc.syn").key()
+
+    def test_strategy_dict_coerced(self):
+        spec = RunSpec(benchmark="gcc.syn",
+                       strategy={"name": "random", "params": {"sample_size": 9}})
+        assert spec.strategy == RandomStrategy(sample_size=9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="metric"):
+            RunSpec(benchmark="gcc.syn", metric="ipc")
+        with pytest.raises(ValueError, match="scale"):
+            RunSpec(benchmark="gcc.syn", scale=0)
+
+
+class TestRunResult:
+    def _result(self) -> RunResult:
+        spec = RunSpec(benchmark="gcc.syn", scale=0.05)
+        return RunResult(
+            spec=spec,
+            estimate_mean=1.5,
+            estimate_cv=0.3,
+            confidence_interval=0.04,
+            target_met=True,
+            sample_size=100,
+            population_size=400,
+            benchmark_length=20000,
+            rounds=2,
+            round_estimates=[
+                {"sample_size": 60, "mean": 1.52, "cv": 0.31, "ci": 0.09},
+                {"sample_size": 100, "mean": 1.5, "cv": 0.3, "ci": 0.04},
+            ],
+            tuned_sample_sizes=[100],
+            instructions_measured=8000,
+            detailed_fraction=0.4,
+            wall_seconds=1.25,
+            units=[UnitRecord(index=3, instructions=50, cycles=75, energy=1.0)],
+            strategy_info={"phases": 3},
+        )
+
+    def test_json_roundtrip_equality(self):
+        result = self._result()
+        assert RunResult.from_json(result.to_json()) == result
+
+    def test_initial_estimate_and_summary(self):
+        result = self._result()
+        assert result.initial_estimate["sample_size"] == 60
+        summary = result.summary()
+        assert summary["estimate"] == 1.5
+        assert summary["strategy"] == "systematic"
+        assert summary["rounds"] == 2

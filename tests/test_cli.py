@@ -1,8 +1,16 @@
 """Tests for the command line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def isolated_run_cache(tmp_path, monkeypatch):
+    """Keep CLI runs out of the repository's persistent .run_cache."""
+    monkeypatch.setenv("REPRO_RUN_CACHE_DIR", str(tmp_path / "run_cache"))
 
 
 class TestParser:
@@ -76,3 +84,66 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "RUU/LSQ" in out
+
+
+class TestJsonOutput:
+    def test_estimate_json_is_runresult_payload(self, capsys):
+        code = main([
+            "estimate", "gzip.syn", "--scale", "0.05", "--n-init", "40",
+            "--epsilon", "0.5", "--rounds", "1", "--unit-size", "25",
+            "--warming", "50", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["benchmark"] == "gzip.syn"
+        assert payload["spec"]["strategy"]["name"] == "systematic"
+        assert payload["estimate_mean"] > 0
+        assert payload["sample_size"] >= 40
+        assert isinstance(payload["units"], list)
+        # The payload round-trips through the RunResult contract.
+        from repro.api import RunResult
+        result = RunResult.from_dict(payload)
+        assert result.estimate_mean == payload["estimate_mean"]
+
+    def test_estimate_json_with_validation_still_roundtrips(self, capsys):
+        code = main([
+            "estimate", "gzip.syn", "--scale", "0.05", "--n-init", "40",
+            "--epsilon", "0.5", "--rounds", "1", "--unit-size", "25",
+            "--warming", "50", "--json", "--validate",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "validation" in payload
+        from repro.api import RunResult
+        result = RunResult.from_dict(payload)  # extra key tolerated
+        assert result.estimate_mean == payload["estimate_mean"]
+
+    def test_experiment_json(self, capsys):
+        code = main(["experiment", "table3", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "table3"
+        assert "report" not in payload["data"]
+        assert payload["data"]["rows"]
+
+
+class TestSweep:
+    def test_sweep_table_output(self, capsys):
+        code = main([
+            "sweep", "--benchmarks", "gzip.syn,mcf.syn", "--scale", "0.05",
+            "--epsilon", "0.5", "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gzip.syn" in out and "mcf.syn" in out
+        assert "Sweep" in out
+
+    def test_sweep_json_output(self, capsys):
+        code = main([
+            "sweep", "--benchmarks", "gzip.syn", "--scale", "0.05",
+            "--epsilon", "0.5", "--strategy", "random", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        assert payload[0]["spec"]["strategy"]["name"] == "random"

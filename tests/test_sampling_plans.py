@@ -6,6 +6,8 @@ from hypothesis import strategies as st
 
 from repro.core.sampling import (
     RandomSamplingPlan,
+    SamplingPlan,
+    StratifiedSamplingPlan,
     SystematicSamplingPlan,
     offsets_for_bias_estimation,
 )
@@ -134,6 +136,49 @@ class TestRandomPlan:
             RandomSamplingPlan(unit_size=0, sample_size=5)
         with pytest.raises(ValueError):
             RandomSamplingPlan(unit_size=10, sample_size=0)
+
+    def test_explicit_rng_threading(self):
+        import random
+
+        plan = RandomSamplingPlan(unit_size=10, sample_size=20, seed=7)
+        via_seed = [u.index for u in plan.units(5000)]
+        via_rng = [u.index for u in plan.units(5000, rng=random.Random(7))]
+        assert via_seed == via_rng
+        assert plan.rng().random() == random.Random(7).random()
+
+
+class TestStratifiedPlan:
+    def test_explicit_indices(self):
+        plan = StratifiedSamplingPlan(unit_size=10, unit_indices=(5, 1, 9))
+        units = list(plan.units(200))
+        assert [u.index for u in units] == [1, 5, 9]
+        assert plan.sample_size == 3
+        assert units[0].start == 10
+
+    def test_indices_deduplicated_and_sorted(self):
+        plan = StratifiedSamplingPlan(unit_size=10, unit_indices=(3, 3, 1))
+        assert plan.unit_indices == (1, 3)
+
+    def test_indices_beyond_population_skipped(self):
+        plan = StratifiedSamplingPlan(unit_size=10, unit_indices=(0, 5, 50))
+        assert [u.index for u in plan.units(100)] == [0, 5]
+        assert plan.detailed_instructions(100) == 2 * 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StratifiedSamplingPlan(unit_size=0, unit_indices=(1,))
+        with pytest.raises(ValueError):
+            StratifiedSamplingPlan(unit_size=10, unit_indices=())
+        with pytest.raises(ValueError):
+            StratifiedSamplingPlan(unit_size=10, unit_indices=(-1,))
+
+    def test_satisfies_sampling_plan_protocol(self):
+        plan = StratifiedSamplingPlan(unit_size=10, unit_indices=(1, 2))
+        assert isinstance(plan, SamplingPlan)
+        assert isinstance(SystematicSamplingPlan(unit_size=10, interval=2),
+                          SamplingPlan)
+        assert isinstance(RandomSamplingPlan(unit_size=10, sample_size=2),
+                          SamplingPlan)
 
 
 class TestBiasOffsets:
