@@ -42,6 +42,8 @@ The lower-level building blocks remain available::
 """
 
 from repro.api import (
+    CheckpointSet,
+    CheckpointStore,
     Executor,
     RandomStrategy,
     ResultCache,
@@ -51,6 +53,7 @@ from repro.api import (
     Session,
     StratifiedStrategy,
     SystematicStrategy,
+    build_checkpoints,
     get_strategy,
     register_strategy,
     strategy_from_dict,
@@ -90,6 +93,8 @@ __version__ = "1.0.0"
 __all__ = [
     "CONFIDENCE_95",
     "CONFIDENCE_997",
+    "CheckpointSet",
+    "CheckpointStore",
     "DetailedSimulator",
     "EnergyModel",
     "Executor",
@@ -115,6 +120,7 @@ __all__ = [
     "StratifiedStrategy",
     "SystematicSamplingPlan",
     "SystematicStrategy",
+    "build_checkpoints",
     "build_suite",
     "estimate_metric",
     "get_benchmark",

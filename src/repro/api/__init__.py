@@ -23,6 +23,14 @@ from __future__ import annotations
 import importlib
 from functools import partial
 
+from repro.checkpoint import (
+    DEFAULT_STRIDE,
+    CheckpointSet,
+    CheckpointStore,
+    StaleCheckpointWarning,
+    build_checkpoints,
+    default_checkpoint_dir,
+)
 from repro.config import MachineConfig, scaled_16way, scaled_8way
 from repro.core.procedure import recommended_warming
 from repro.core.stats import CONFIDENCE_95, CONFIDENCE_997
@@ -45,6 +53,7 @@ from repro.api.executor import (
     default_run_cache_dir,
     execute_spec,
     resolve_benchmark,
+    resolve_checkpoints,
     resolve_machine,
 )
 from repro.api.session import Session, run_spec
@@ -117,11 +126,15 @@ def __getattr__(name: str):
 __all__ = [
     "CONFIDENCE_95",
     "CONFIDENCE_997",
+    "CheckpointSet",
+    "CheckpointStore",
+    "DEFAULT_STRIDE",
     "EXPERIMENTS",
     "EXPERIMENT_NAMES",
     "Executor",
     "ExperimentContext",
     "MachineConfig",
+    "StaleCheckpointWarning",
     "RandomStrategy",
     "ResultCache",
     "RunResult",
@@ -133,6 +146,8 @@ __all__ = [
     "StratifiedStrategy",
     "StrategyOutcome",
     "SystematicStrategy",
+    "build_checkpoints",
+    "default_checkpoint_dir",
     "default_context",
     "default_run_cache_dir",
     "estimate_metric",
@@ -143,6 +158,7 @@ __all__ = [
     "recommended_warming",
     "register_strategy",
     "resolve_benchmark",
+    "resolve_checkpoints",
     "resolve_machine",
     "run_experiment",
     "run_reference",

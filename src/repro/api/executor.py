@@ -21,15 +21,19 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
+from repro.checkpoint import CheckpointStore
 from repro.config.machines import MachineConfig, get_config, scaled_16way, scaled_8way
 from repro.functional.simulator import measure_program_length
 from repro.isa.program import Program
+from repro.paths import project_cache_dir
 from repro.workloads.suite import get_benchmark, micro_benchmark
 from repro.api.spec import RunResult, RunSpec
 
 #: Bump when simulator behaviour changes in a way that invalidates
-#: cached run results.
-CACHE_VERSION = 2
+#: cached run results.  v3: functional warming mirrors the detailed
+#: path's BTB recency updates (the path-independence fix the checkpoint
+#: subsystem rests on), which perturbs warmed estimates slightly.
+CACHE_VERSION = 3
 
 
 def resolve_machine(name: str) -> MachineConfig:
@@ -53,20 +57,49 @@ def resolve_benchmark(name: str, scale: float) -> Program:
     return get_benchmark(name, scale=scale).program
 
 
+def resolve_checkpoints(spec: RunSpec, program: Program | None = None,
+                        machine: MachineConfig | None = None):
+    """Load-or-build the checkpoint set a ``checkpoints="auto"`` spec uses.
+
+    Returns None when the spec cannot use checkpoints: mode ``"off"``,
+    a strategy without a unit size, or fast-forwarding without
+    functional warming (snapshots capture *warmed* state, which a
+    no-warming run must not see).
+    """
+    if spec.checkpoints != "auto":
+        return None
+    unit_size = getattr(spec.strategy, "unit_size", None)
+    if unit_size is None:
+        return None
+    if not getattr(spec.strategy, "functional_warming", True):
+        return None
+    if program is None:
+        program = resolve_benchmark(spec.benchmark, spec.scale)
+    if machine is None:
+        machine = resolve_machine(spec.machine)
+    return CheckpointStore().get_or_build(program, machine, unit_size)
+
+
 def execute_spec(spec: RunSpec) -> RunResult:
     """Run one spec to completion (no caching, current process)."""
     start = time.perf_counter()
     program = resolve_benchmark(spec.benchmark, spec.scale)
     machine = resolve_machine(spec.machine)
+    checkpoints = resolve_checkpoints(spec, program, machine)
     length = spec.benchmark_length
     if length is None:
-        length = measure_program_length(program)
+        if checkpoints is not None:
+            # The checkpoint build pass already measured the program.
+            length = checkpoints.benchmark_length
+        else:
+            length = measure_program_length(program)
     outcome = spec.strategy.run(
         program, machine, length,
         metric=spec.metric,
         epsilon=spec.epsilon,
         confidence=spec.confidence,
         seed=spec.seed,
+        checkpoints=checkpoints,
     )
     return RunResult.from_outcome(spec, outcome,
                                   wall_seconds=time.perf_counter() - start)
@@ -81,20 +114,8 @@ def _execute_payload(payload: dict) -> dict:
 # On-disk result cache
 # ----------------------------------------------------------------------
 def default_run_cache_dir() -> Path:
-    """Directory used to cache run results.
-
-    ``REPRO_RUN_CACHE_DIR`` wins; otherwise the repository root for a
-    src-layout checkout, falling back to the working directory for
-    installed packages (where the package's grandparent is a
-    site-packages tree, not a writable project root).
-    """
-    env = os.environ.get("REPRO_RUN_CACHE_DIR")
-    if env:
-        return Path(env)
-    root = Path(__file__).resolve().parents[3]
-    if (root / "src" / "repro").is_dir():
-        return root / ".run_cache"
-    return Path.cwd() / ".run_cache"
+    """Directory used to cache run results (``REPRO_RUN_CACHE_DIR``)."""
+    return project_cache_dir("REPRO_RUN_CACHE_DIR", ".run_cache")
 
 
 class ResultCache:
@@ -166,6 +187,20 @@ class Executor:
             if max_workers is None or max_workers <= 1 or len(misses) == 1:
                 fresh = [execute_spec(specs[i]) for i in misses]
             else:
+                # Build any missing checkpoint sets once, up front: the
+                # on-disk store is the sharing medium, so workers load
+                # instead of racing to rebuild the same warming pass.
+                # Only specs that actually got a set mark their key as
+                # done — resolve_checkpoints declines some auto specs
+                # (e.g. functional_warming=False), and such a spec must
+                # not suppress the prebuild for an eligible twin.
+                seen: set[tuple] = set()
+                for i in misses:
+                    spec = specs[i]
+                    key = (spec.benchmark, spec.scale, spec.machine,
+                           getattr(spec.strategy, "unit_size", None))
+                    if key not in seen and resolve_checkpoints(spec) is not None:
+                        seen.add(key)
                 fresh = self._run_parallel([specs[i] for i in misses],
                                            max_workers)
             for i, result in zip(misses, fresh):

@@ -37,13 +37,24 @@ class Session:
         cache_dir: On-disk result cache directory (default:
             ``.run_cache`` at the repository root, or
             ``REPRO_RUN_CACHE_DIR``).
-        use_cache: Disable to bypass the cache entirely — every run is
-            recomputed and nothing is read from or written to disk.
+        use_cache: Disable to bypass the *run-result* cache — every run
+            is recomputed and no result is read from or written to
+            disk.  (The checkpoint store is separate: specs with
+            ``checkpoints="auto"`` still use it; point
+            ``REPRO_CHECKPOINT_DIR`` somewhere writable or keep
+            ``checkpoints="off"`` for fully read-only operation.)
+        checkpoints: Default checkpoint mode (``"off"`` or ``"auto"``)
+            applied by :meth:`estimate` when none is given explicitly;
+            specs built elsewhere carry their own mode.
     """
 
     def __init__(self, max_workers: int | None = None,
                  cache_dir: str | Path | None = None,
-                 use_cache: bool = True):
+                 use_cache: bool = True,
+                 checkpoints: str = "off"):
+        if checkpoints not in ("off", "auto"):
+            raise ValueError("checkpoints must be 'off' or 'auto'")
+        self.checkpoints = checkpoints
         self.executor = Executor(
             max_workers=max_workers,
             cache=ResultCache(cache_dir, enabled=use_cache),
@@ -77,14 +88,15 @@ class Session:
                     metric: str = "cpi",
                     seed: int = 0,
                     epsilon: float = 0.075,
-                    confidence: float = CONFIDENCE_997) -> list[RunSpec]:
+                    confidence: float = CONFIDENCE_997,
+                    checkpoints: str = "off") -> list[RunSpec]:
         """Build the cross product benchmark x machine as RunSpecs."""
         if strategy is None:
             strategy = SystematicStrategy()
         return [
             RunSpec(benchmark=benchmark, machine=machine, strategy=strategy,
                     scale=scale, metric=metric, seed=seed, epsilon=epsilon,
-                    confidence=confidence)
+                    confidence=confidence, checkpoints=checkpoints)
             for benchmark in benchmarks
             for machine in machines
         ]
@@ -97,12 +109,14 @@ class Session:
                  epsilon: float = 0.075, confidence: float = CONFIDENCE_997,
                  strategy: SamplingStrategy | None = None,
                  benchmark_length: int | None = None,
+                 checkpoints: str | None = None,
                  **strategy_params) -> RunResult:
         """One-call estimate, mirroring the old ``estimate_metric`` shape.
 
         Extra keyword arguments (``unit_size``, ``n_init``, ...) are
         forwarded to :class:`SystematicStrategy` when no explicit
-        strategy is given.
+        strategy is given.  ``checkpoints`` defaults to the session's
+        mode.
         """
         if strategy is None:
             strategy = SystematicStrategy(**strategy_params)
@@ -114,6 +128,7 @@ class Session:
             benchmark=benchmark, machine=machine, strategy=strategy,
             scale=scale, metric=metric, seed=seed, epsilon=epsilon,
             confidence=confidence, benchmark_length=benchmark_length,
+            checkpoints=self.checkpoints if checkpoints is None else checkpoints,
         ))
 
 

@@ -43,6 +43,12 @@ class RunSpec:
         confidence: Target confidence level.
         benchmark_length: Optional explicit dynamic instruction count;
             measured with a functional pass when omitted.
+        checkpoints: ``"off"`` (default) or ``"auto"``.  Auto mode loads
+            — building once if needed — the warm-state checkpoint set
+            for this benchmark/machine/unit-size and restores at each
+            sampling unit instead of fast-forwarding.  Estimates are
+            bit-identical either way; only the fast-forward work
+            bookkeeping changes (see ``RunResult.estimates_dict``).
     """
 
     benchmark: str
@@ -54,12 +60,15 @@ class RunSpec:
     epsilon: float = 0.075
     confidence: float = CONFIDENCE_997
     benchmark_length: int | None = None
+    checkpoints: str = "off"
 
     def __post_init__(self) -> None:
         if self.metric not in ("cpi", "epi"):
             raise ValueError("metric must be 'cpi' or 'epi'")
         if self.scale <= 0:
             raise ValueError("scale must be positive")
+        if self.checkpoints not in ("off", "auto"):
+            raise ValueError("checkpoints must be 'off' or 'auto'")
         if isinstance(self.strategy, dict):
             object.__setattr__(self, "strategy",
                                strategy_from_dict(self.strategy))
@@ -78,6 +87,7 @@ class RunSpec:
             "epsilon": self.epsilon,
             "confidence": self.confidence,
             "benchmark_length": self.benchmark_length,
+            "checkpoints": self.checkpoints,
         }
 
     @classmethod
@@ -121,6 +131,8 @@ class RunResult:
     instructions_measured: int = 0
     instructions_detailed_warming: int = 0
     instructions_fastforwarded: int = 0
+    instructions_restored: int = 0
+    checkpoint_restores: int = 0
     detailed_fraction: float = 0.0
     wall_seconds: float = 0.0
     units: list[UnitRecord] = field(default_factory=list)
@@ -164,6 +176,10 @@ class RunResult:
                 run.instructions_detailed_warming for run in outcome.runs),
             instructions_fastforwarded=sum(
                 run.instructions_fastforwarded for run in outcome.runs),
+            instructions_restored=sum(
+                run.instructions_restored for run in outcome.runs),
+            checkpoint_restores=sum(
+                run.checkpoint_restores for run in outcome.runs),
             detailed_fraction=final.detailed_fraction,
             wall_seconds=wall_seconds,
             units=list(final.units),
@@ -193,8 +209,27 @@ class RunResult:
             "rounds": self.rounds,
             "measured_instructions": self.instructions_measured,
             "detailed_fraction": self.detailed_fraction,
+            "checkpoint_restores": self.checkpoint_restores,
             "wall_seconds": self.wall_seconds,
         }
+
+    def estimates_dict(self) -> dict:
+        """The estimate-determining payload, for equivalence checks.
+
+        This is :meth:`to_dict` minus the fields that describe *how much
+        work* the run performed rather than *what it estimated*: wall
+        time, fast-forwarded/restored instruction counts, restore
+        counts, and the spec's ``checkpoints`` mode.  A checkpointed run
+        and a serial run of the same spec are bit-identical under this
+        view — per-unit cycle counts included — which is the correctness
+        contract of the checkpoint subsystem.
+        """
+        payload = self.to_dict()
+        for key in ("wall_seconds", "instructions_fastforwarded",
+                    "instructions_restored", "checkpoint_restores"):
+            payload.pop(key)
+        payload["spec"].pop("checkpoints")
+        return payload
 
     # ------------------------------------------------------------------
     # Serialization
@@ -215,6 +250,8 @@ class RunResult:
             "instructions_measured": self.instructions_measured,
             "instructions_detailed_warming": self.instructions_detailed_warming,
             "instructions_fastforwarded": self.instructions_fastforwarded,
+            "instructions_restored": self.instructions_restored,
+            "checkpoint_restores": self.checkpoint_restores,
             "detailed_fraction": self.detailed_fraction,
             "wall_seconds": self.wall_seconds,
             "units": [

@@ -74,8 +74,15 @@ class SamplingStrategy(ABC):
         epsilon: float = 0.075,
         confidence: float = 0.997,
         seed: int = 0,
+        checkpoints=None,
     ) -> StrategyOutcome:
-        """Execute the strategy and return every sampling run."""
+        """Execute the strategy and return every sampling run.
+
+        ``checkpoints`` (a :class:`repro.checkpoint.CheckpointSet`) is
+        threaded through to the engine: unit selection is unchanged, but
+        each selected unit restores pre-warmed state instead of
+        fast-forwarding, leaving estimates bit-identical.
+        """
 
     # ------------------------------------------------------------------
     # Serialization
@@ -154,7 +161,8 @@ class SystematicStrategy(SamplingStrategy):
     functional_warming: bool = True
 
     def run(self, program, machine, benchmark_length, *, metric="cpi",
-            epsilon=0.075, confidence=0.997, seed=0) -> StrategyOutcome:
+            epsilon=0.075, confidence=0.997, seed=0,
+            checkpoints=None) -> StrategyOutcome:
         procedure = estimate_metric(
             program, machine,
             metric=metric,
@@ -167,6 +175,7 @@ class SystematicStrategy(SamplingStrategy):
             max_rounds=self.max_rounds,
             offset=self.offset,
             benchmark_length=benchmark_length,
+            checkpoints=checkpoints,
         )
         return StrategyOutcome(
             runs=list(procedure.runs),
@@ -195,7 +204,8 @@ class RandomStrategy(SamplingStrategy):
     functional_warming: bool = True
 
     def run(self, program, machine, benchmark_length, *, metric="cpi",
-            epsilon=0.075, confidence=0.997, seed=0) -> StrategyOutcome:
+            epsilon=0.075, confidence=0.997, seed=0,
+            checkpoints=None) -> StrategyOutcome:
         plan = RandomSamplingPlan(
             unit_size=self.unit_size,
             sample_size=self.sample_size,
@@ -204,7 +214,8 @@ class RandomStrategy(SamplingStrategy):
             functional_warming=self.functional_warming,
         )
         run = run_smarts(program, machine, plan, benchmark_length,
-                         measure_energy=(metric == "epi"))
+                         measure_energy=(metric == "epi"),
+                         checkpoints=checkpoints)
         return StrategyOutcome(runs=[run], info={"plan_seed": plan.seed})
 
 
@@ -309,9 +320,11 @@ class StratifiedStrategy(SamplingStrategy):
         return plan, info
 
     def run(self, program, machine, benchmark_length, *, metric="cpi",
-            epsilon=0.075, confidence=0.997, seed=0) -> StrategyOutcome:
+            epsilon=0.075, confidence=0.997, seed=0,
+            checkpoints=None) -> StrategyOutcome:
         plan, info = self.build_plan(program, benchmark_length, machine,
                                      seed=seed)
         run = run_smarts(program, machine, plan, benchmark_length,
-                         measure_energy=(metric == "epi"))
+                         measure_energy=(metric == "epi"),
+                         checkpoints=checkpoints)
         return StrategyOutcome(runs=[run], info=info)

@@ -58,6 +58,15 @@ class BranchTargetBuffer:
         self.lookups = 0
         self.hits = 0
 
+    def warm_state(self) -> list[list[list[int]]]:
+        """Deep copy of the tag/target sets, MRU order included."""
+        return [[list(entry) for entry in s] for s in self._sets]
+
+    def restore_warm_state(self, saved: list[list[list[int]]]) -> None:
+        if len(saved) != self.num_sets:
+            raise ValueError("saved BTB state has the wrong geometry")
+        self._sets = [[list(entry) for entry in s] for s in saved]
+
 
 class ReturnAddressStack:
     """Fixed-depth return address stack for call/return prediction."""
@@ -85,6 +94,12 @@ class ReturnAddressStack:
 
     def reset(self) -> None:
         self._stack = []
+
+    def warm_state(self) -> list[int]:
+        return list(self._stack)
+
+    def restore_warm_state(self, saved: list[int]) -> None:
+        self._stack = list(saved[-self.entries:])
 
     def __len__(self) -> int:
         return len(self._stack)

@@ -42,6 +42,15 @@ class SaturatingCounterTable:
     def reset(self, initial: int = 1) -> None:
         self.counters = [initial] * self.entries
 
+    def warm_state(self) -> list[int]:
+        """Copy of the counter array (checkpoint support)."""
+        return list(self.counters)
+
+    def restore_warm_state(self, saved: list[int]) -> None:
+        if len(saved) != self.entries:
+            raise ValueError("saved counter table has the wrong geometry")
+        self.counters = list(saved)
+
 
 class BimodalPredictor:
     """PC-indexed table of 2-bit counters."""
@@ -141,3 +150,20 @@ class CombinedPredictor:
     def reset_stats(self) -> None:
         self.lookups = 0
         self.mispredictions = 0
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (warm state only; accuracy counters are stats)
+    # ------------------------------------------------------------------
+    def warm_state(self) -> dict:
+        return {
+            "bimodal": self.bimodal.table.warm_state(),
+            "gshare": self.gshare.table.warm_state(),
+            "gshare_history": self.gshare.history,
+            "meta": self.meta.warm_state(),
+        }
+
+    def restore_warm_state(self, saved: dict) -> None:
+        self.bimodal.table.restore_warm_state(saved["bimodal"])
+        self.gshare.table.restore_warm_state(saved["gshare"])
+        self.gshare.history = int(saved["gshare_history"])
+        self.meta.restore_warm_state(saved["meta"])

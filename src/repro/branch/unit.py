@@ -91,10 +91,23 @@ class BranchUnit:
         Used during functional warming so the direction tables, global
         history, BTB and RAS track the full instruction stream between
         sampling units.
+
+        Warming applies the exact state mutations :meth:`resolve` would:
+        for a conditional branch the detailed path consults the BTB only
+        when the direction predictor says "taken", and that lookup moves
+        the entry to the MRU position of its set.  Mirroring the lookup
+        here keeps the BTB's recency order identical whether a stretch of
+        the stream was functionally warmed or simulated in detail — the
+        property the checkpoint subsystem relies on to restore
+        bit-identical warm state.  (Every other ``resolve`` lookup is
+        immediately followed by an ``update`` of the same entry, which
+        masks the recency effect, so no mirroring is needed there.)
         """
         pc = dyn.pc
         op = dyn.op
         if dyn.is_conditional:
+            if self.predictor.predict(pc):
+                self.btb.lookup(pc)
             self.predictor.update(pc, dyn.taken)
         elif op == Opcode.JAL:
             self.ras.push(pc + 1)
@@ -123,3 +136,20 @@ class BranchUnit:
         self.predictor.reset_stats()
         self.branches = 0
         self.mispredictions = 0
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def warm_state(self) -> dict:
+        """Serializable copy of all prediction state (not statistics)."""
+        return {
+            "predictor": self.predictor.warm_state(),
+            "btb": self.btb.warm_state(),
+            "ras": self.ras.warm_state(),
+        }
+
+    def restore_warm_state(self, saved: dict) -> None:
+        """Restore prediction state; accuracy counters are untouched."""
+        self.predictor.restore_warm_state(saved["predictor"])
+        self.btb.restore_warm_state(saved["btb"])
+        self.ras.restore_warm_state(saved["ras"])

@@ -1,0 +1,51 @@
+"""Checkpointed functional warming: snapshot/restore of warm state.
+
+SMARTS runtime is dominated by functional fast-forwarding and warming
+between sampling units (Table 6): every run re-executes the whole
+instruction stream functionally even though only a tiny fraction is
+simulated in detail.  This package removes that bottleneck the way the
+checkpointing literature does (and the way SimPoint amortizes its cost
+across runs, Figure 8): one functional-warming pass over a program
+serializes per-stride snapshots of architectural *and* warm
+microarchitectural state; every subsequent run restores at each selected
+sampling unit instead of re-fast-forwarding from instruction zero.
+
+The subsystem is exact, not approximate: functional warming and detailed
+simulation maintain the long-history state identically (see
+``BranchUnit.warm``), so the state restored from a pure-warming snapshot
+is bit-identical to the state the serial engine would have reached — and
+therefore so are all estimates.  Snapshots are keyed by (program
+fingerprint, machine *warm-geometry* fingerprint, unit size): runs that
+differ only in detailed-timing parameters (latencies, widths, window
+sizes) or in sampling design (strategy, k, j, n, W) reuse the same
+checkpoints, while any change to cache/TLB/predictor geometry changes
+the key and forces a rebuild.
+"""
+
+from repro.checkpoint.snapshot import (
+    CHECKPOINT_VERSION,
+    Snapshot,
+    machine_warm_fingerprint,
+    program_fingerprint,
+)
+from repro.checkpoint.store import (
+    DEFAULT_STRIDE,
+    CheckpointSet,
+    CheckpointStore,
+    StaleCheckpointWarning,
+    build_checkpoints,
+    default_checkpoint_dir,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointSet",
+    "CheckpointStore",
+    "DEFAULT_STRIDE",
+    "Snapshot",
+    "StaleCheckpointWarning",
+    "build_checkpoints",
+    "default_checkpoint_dir",
+    "machine_warm_fingerprint",
+    "program_fingerprint",
+]

@@ -1,0 +1,94 @@
+"""Snapshot contents and the fingerprints that key the checkpoint store.
+
+A :class:`Snapshot` captures everything needed to resume a run at one
+stream position:
+
+* architectural state — registers, PC, halt flag, and the *memory delta*
+  of the stride that ended at this position (the sparse memory image
+  only ever grows, so applying the deltas of the skipped strides in
+  order on top of the current image reconstructs the exact memory at the
+  snapshot position without storing the full image per snapshot);
+* warm microarchitectural state — cache/TLB tag arrays with LRU order
+  and dirty bits, branch direction tables, global history, BTB and RAS
+  (:meth:`repro.detailed.state.MicroarchState.snapshot_state`).
+
+Two fingerprints key a checkpoint set:
+
+* :func:`program_fingerprint` — code, data segment and entry point, so a
+  benchmark rebuilt at a different scale (or after a workload change)
+  never reuses stale snapshots;
+* :func:`machine_warm_fingerprint` — only the configuration parameters
+  that *warm state depends on* (cache, TLB and branch-structure
+  geometry).  Detailed-timing parameters (latencies, widths, RUU/LSQ,
+  store buffer, MSHRs) are deliberately excluded: changing them changes
+  timing but not warm state, so those runs reuse the same checkpoints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.config.machines import MachineConfig
+from repro.isa.program import Program
+
+#: Bump when snapshot layout or warm-state semantics change in a way
+#: that invalidates existing on-disk checkpoints.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class Snapshot:
+    """State at one stream position of a functional-warming pass."""
+
+    position: int                      #: Instructions retired at capture.
+    pc: int
+    halted: bool
+    int_regs: list = field(default_factory=list)
+    fp_regs: list = field(default_factory=list)
+    #: Final values of the addresses stored to during the stride that
+    #: ended at ``position`` (word-aligned byte address -> value).
+    mem_delta: dict = field(default_factory=dict)
+    #: ``MicroarchState.snapshot_state()`` payload.
+    micro: dict = field(default_factory=dict)
+
+
+def program_fingerprint(program: Program) -> str:
+    """Short content digest of a program (code + data + entry point).
+
+    Memoized on the program object: fingerprints are consulted on every
+    engine run with checkpoints, and programs are immutable once built.
+    """
+    cached = getattr(program, "_checkpoint_fingerprint", None)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    hasher.update(f"entry:{program.entry}".encode())
+    for inst in program.instructions:
+        hasher.update(str(inst).encode())
+    for addr in sorted(program.data):
+        hasher.update(f"{addr}:{program.data[addr]}".encode())
+    digest = hasher.hexdigest()[:12]
+    program._checkpoint_fingerprint = digest
+    return digest
+
+
+def machine_warm_fingerprint(config: MachineConfig) -> str:
+    """Digest of the configuration parameters warm state depends on."""
+    payload = {
+        "l1i": [config.l1i.size_bytes, config.l1i.assoc, config.l1i.block_bytes],
+        "l1d": [config.l1d.size_bytes, config.l1d.assoc, config.l1d.block_bytes],
+        "l2": [config.l2.size_bytes, config.l2.assoc, config.l2.block_bytes],
+        "itlb": [config.itlb.entries, config.itlb.assoc, config.itlb.page_bytes],
+        "dtlb": [config.dtlb.entries, config.dtlb.assoc, config.dtlb.page_bytes],
+        "branch": [
+            config.branch.table_entries,
+            config.branch.history_bits,
+            config.branch.btb_entries,
+            config.branch.btb_assoc,
+            config.branch.ras_entries,
+        ],
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:12]

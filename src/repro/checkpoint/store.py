@@ -1,0 +1,377 @@
+"""The on-disk checkpoint store: build, load, restore, list, collect.
+
+One :class:`CheckpointSet` holds the snapshots of one functional-warming
+pass over one program on one machine geometry, at a fixed snapshot
+stride (a multiple of the sampling-unit size).  Sets are pickled and
+zlib-compressed into ``<checkpoint dir>/*.ckpt`` files named by the
+fingerprints that key them, so any process (including forked sweep
+workers) can reuse a set built by another.
+
+Restore semantics: within a run, sampling plans enumerate units in
+ascending stream order, so restores are forward jumps.  Restoring to
+snapshot *i* replaces registers/PC and warm microarchitectural state
+wholesale and applies the memory deltas of exactly the strides being
+skipped (those ending after the core's current position, in order).
+Re-applying a delta whose stride partially precedes the current position
+is safe: deltas store the *final* value of each written address at the
+stride boundary, which lies on the same deterministic trajectory.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.config.machines import MachineConfig
+from repro.detailed.state import MicroarchState
+from repro.functional.simulator import FunctionalCore
+from repro.functional.warming import FunctionalWarmer, warming_pass
+from repro.isa.program import Program
+from repro.paths import project_cache_dir
+from repro.checkpoint.snapshot import (
+    CHECKPOINT_VERSION,
+    Snapshot,
+    machine_warm_fingerprint,
+    program_fingerprint,
+)
+
+#: Default snapshot stride, in sampling units: one snapshot every
+#: ``stride * unit_size`` instructions.  The residual fast-forward per
+#: restored unit is bounded by one stride (plus the detailed-warming
+#: remainder), so smaller strides save more warming work at the cost of
+#: proportionally more snapshots on disk.  The default must stay below
+#: the typical inter-unit gap ``(k-1)·U − W`` of suite-scale systematic
+#: runs, or no grid point falls inside the gaps and restores never fire.
+DEFAULT_STRIDE = 4
+
+#: Build-pass instruction budget (matches ``measure_program_length``).
+DEFAULT_BUILD_LIMIT = 200_000_000
+
+
+class StaleCheckpointWarning(UserWarning):
+    """Checkpoints exist for this program/unit but a different machine
+    geometry (or snapshot format version); they will not be reused."""
+
+
+@dataclass
+class CheckpointSet:
+    """Snapshots of one functional-warming pass, plus identity metadata."""
+
+    benchmark: str
+    machine: str
+    program_hash: str
+    machine_hash: str
+    unit_size: int
+    stride: int
+    benchmark_length: int
+    version: int = CHECKPOINT_VERSION
+    snapshots: list[Snapshot] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._positions = [snap.position for snap in self.snapshots]
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def matches(self, program: Program, machine: MachineConfig) -> bool:
+        """Whether this set was built for exactly this program/geometry."""
+        return (self.program_hash == program_fingerprint(program)
+                and self.machine_hash == machine_warm_fingerprint(machine))
+
+    # ------------------------------------------------------------------
+    # Restore
+    # ------------------------------------------------------------------
+    def restore_point(self, limit: int) -> int | None:
+        """Index of the latest snapshot at or before stream position
+        ``limit``, or None when no snapshot precedes it."""
+        index = bisect_right(self._positions, limit) - 1
+        return index if index >= 0 else None
+
+    def position(self, index: int) -> int:
+        return self._positions[index]
+
+    def restore_into(self, index: int, core: FunctionalCore,
+                     microarch: MicroarchState) -> int:
+        """Jump ``core``/``microarch`` forward to snapshot ``index``.
+
+        Returns the number of instructions skipped.  The core must be on
+        this set's trajectory (same program, earlier position); restoring
+        backwards is refused because memory deltas only replay forward.
+        """
+        snap = self.snapshots[index]
+        current = core.instructions_retired
+        if snap.position <= current:
+            raise ValueError(
+                f"cannot restore backwards: snapshot at {snap.position}, "
+                f"core at {current}")
+        first = bisect_right(self._positions, current)
+        deltas = [self.snapshots[i].mem_delta for i in range(first, index + 1)]
+        core.restore_arch(snap.position, snap.pc, snap.halted,
+                          snap.int_regs, snap.fp_regs, deltas)
+        microarch.restore_state(snap.micro)
+        return snap.position - current
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        return {
+            "meta": {
+                "benchmark": self.benchmark,
+                "machine": self.machine,
+                "program_hash": self.program_hash,
+                "machine_hash": self.machine_hash,
+                "unit_size": self.unit_size,
+                "stride": self.stride,
+                "benchmark_length": self.benchmark_length,
+                "version": self.version,
+            },
+            "snapshots": self.snapshots,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CheckpointSet":
+        return cls(snapshots=payload["snapshots"], **payload["meta"])
+
+    def describe(self) -> dict:
+        """Flat metadata row for ``checkpoint ls`` style listings."""
+        return {
+            "benchmark": self.benchmark,
+            "machine": self.machine,
+            "program_hash": self.program_hash,
+            "machine_hash": self.machine_hash,
+            "unit_size": self.unit_size,
+            "stride": self.stride,
+            "benchmark_length": self.benchmark_length,
+            "snapshots": len(self.snapshots),
+            "version": self.version,
+        }
+
+
+def build_checkpoints(
+    program: Program,
+    machine: MachineConfig,
+    unit_size: int,
+    stride: int = DEFAULT_STRIDE,
+    limit: int = DEFAULT_BUILD_LIMIT,
+) -> CheckpointSet:
+    """Run one functional-warming pass and capture per-stride snapshots.
+
+    The pass starts from cold (power-on) state, exactly as a
+    ``cold_start`` engine run does, and runs to program halt; it also
+    measures the benchmark's dynamic length as a by-product, which
+    checkpointed runs reuse instead of a separate measuring pass.
+    """
+    if unit_size <= 0:
+        raise ValueError("unit_size must be positive")
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    core = FunctionalCore(program)
+    microarch = MicroarchState(machine)
+    microarch.flush()
+    warmer = FunctionalWarmer(microarch)
+    chunk = unit_size * stride
+
+    snapshots: list[Snapshot] = []
+    for position, written in warming_pass(core, warmer, chunk, limit=limit):
+        memory = core.state.memory
+        state = core.state
+        snapshots.append(Snapshot(
+            position=position,
+            pc=state.pc,
+            halted=state.halted,
+            int_regs=list(state.int_regs),
+            fp_regs=list(state.fp_regs),
+            mem_delta={addr: memory[addr] for addr in written},
+            micro=microarch.snapshot_state(),
+        ))
+    if not core.state.halted:
+        raise RuntimeError(
+            f"program {program.name!r} did not halt within {limit} "
+            f"instructions; refusing to build a partial checkpoint set")
+    return CheckpointSet(
+        benchmark=program.name,
+        machine=machine.name,
+        program_hash=program_fingerprint(program),
+        machine_hash=machine_warm_fingerprint(machine),
+        unit_size=unit_size,
+        stride=stride,
+        benchmark_length=core.instructions_retired,
+        snapshots=snapshots,
+    )
+
+
+# ----------------------------------------------------------------------
+# On-disk store
+# ----------------------------------------------------------------------
+def default_checkpoint_dir() -> Path:
+    """Directory used to persist checkpoint sets (``REPRO_CHECKPOINT_DIR``)."""
+    return project_cache_dir("REPRO_CHECKPOINT_DIR", ".ckpt_cache")
+
+
+#: Process-wide cache of loaded sets keyed by (path, mtime_ns), so sweep
+#: runs over the same benchmark/machine deserialize each set only once.
+_LOADED: dict[tuple[str, int], CheckpointSet] = {}
+
+
+class CheckpointStore:
+    """File-per-set checkpoint store keyed by content fingerprints."""
+
+    def __init__(self, directory: Path | str | None = None,
+                 enabled: bool = True):
+        self.directory = (Path(directory) if directory
+                          else default_checkpoint_dir())
+        self.enabled = enabled
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _slug(name: str) -> str:
+        return name.replace("/", "_").replace("--", "-")
+
+    def path_for(self, program: Program, machine: MachineConfig,
+                 unit_size: int) -> Path:
+        return self.directory / (
+            f"{self._slug(program.name)}--{program_fingerprint(program)}"
+            f"--m{machine_warm_fingerprint(machine)}--u{unit_size}"
+            f"--v{CHECKPOINT_VERSION}.ckpt")
+
+    # ------------------------------------------------------------------
+    # Load / save
+    # ------------------------------------------------------------------
+    def _load(self, path: Path) -> CheckpointSet | None:
+        try:
+            mtime = path.stat().st_mtime_ns
+        except OSError:
+            return None
+        key = (str(path), mtime)
+        cached = _LOADED.get(key)
+        if cached is not None:
+            return cached
+        try:
+            payload = pickle.loads(zlib.decompress(path.read_bytes()))
+            ckpt = CheckpointSet.from_payload(payload)
+        except Exception:
+            return None  # corrupt or unreadable: treat as a miss
+        while len(_LOADED) >= 8:  # bound resident decoded sets
+            _LOADED.pop(next(iter(_LOADED)))
+        _LOADED[key] = ckpt
+        return ckpt
+
+    def get(self, program: Program, machine: MachineConfig,
+            unit_size: int) -> CheckpointSet | None:
+        """Load the matching set, or None (warning if a stale one exists).
+
+        A set whose program fingerprint and unit size match but whose
+        machine geometry differs — e.g. after a cache-geometry change —
+        is *never* restored; a :class:`StaleCheckpointWarning` points at
+        the mismatch so callers know a rebuild is happening.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(program, machine, unit_size)
+        ckpt = self._load(path)
+        if ckpt is not None:
+            if (ckpt.version == CHECKPOINT_VERSION
+                    and ckpt.matches(program, machine)
+                    and ckpt.unit_size == unit_size):
+                return ckpt
+            return None
+        # A stale set is one built for *this same machine* (by name)
+        # before its geometry or the snapshot format changed; sets for
+        # other machines legitimately coexist and are not reported.
+        for candidate in self.directory.glob(
+                f"*--{program_fingerprint(program)}--m*--u{unit_size}"
+                f"--v*.ckpt"):
+            if candidate == path:
+                continue
+            stale = self._load(candidate)
+            if stale is not None and stale.machine == machine.name:
+                warnings.warn(
+                    f"checkpoints for {program.name!r} (U={unit_size}) on "
+                    f"{machine.name!r} were built for a different machine "
+                    f"geometry or format version; rebuilding",
+                    StaleCheckpointWarning, stacklevel=2)
+                break
+        return None
+
+    def put(self, ckpt: CheckpointSet, program: Program,
+            machine: MachineConfig) -> Path:
+        path = self.path_for(program, machine, ckpt.unit_size)
+        if not self.enabled:
+            return path
+        self.directory.mkdir(parents=True, exist_ok=True)
+        blob = zlib.compress(pickle.dumps(ckpt.to_payload(), protocol=4), 6)
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_bytes(blob)
+        tmp.replace(path)
+        return path
+
+    def get_or_build(self, program: Program, machine: MachineConfig,
+                     unit_size: int, stride: int | None = None,
+                     limit: int = DEFAULT_BUILD_LIMIT) -> CheckpointSet:
+        """The workhorse of ``checkpoints="auto"``: load else build+save.
+
+        ``stride=None`` (the auto path) accepts a stored set at any
+        stride — every grid restores exactly.  An explicit ``stride``
+        is a requirement: a stored set at a different stride is rebuilt
+        (``checkpoint build --stride N`` must produce the grid it names).
+        """
+        ckpt = self.get(program, machine, unit_size)
+        if ckpt is not None and (stride is None or ckpt.stride == stride):
+            return ckpt
+        ckpt = build_checkpoints(program, machine, unit_size,
+                                 stride=DEFAULT_STRIDE if stride is None
+                                 else stride, limit=limit)
+        self.put(ckpt, program, machine)
+        return ckpt
+
+    # ------------------------------------------------------------------
+    # Maintenance (checkpoint ls / gc)
+    # ------------------------------------------------------------------
+    def entries(self) -> list[dict]:
+        """Metadata of every readable set in the store directory."""
+        rows = []
+        for path in sorted(self.directory.glob("*.ckpt")):
+            ckpt = self._load(path)
+            if ckpt is None:
+                continue
+            row = ckpt.describe()
+            row["file"] = path.name
+            row["size_bytes"] = path.stat().st_size
+            rows.append(row)
+        return rows
+
+    def gc(self, max_age_days: float | None = None,
+           remove_all: bool = False) -> list[Path]:
+        """Delete stale checkpoint files; returns the removed paths.
+
+        Always removes leftover ``*.tmp`` files and sets written by a
+        different format version; ``max_age_days`` additionally removes
+        sets not touched within that window, and ``remove_all`` empties
+        the store.
+        """
+        import time
+
+        removed = []
+        if not self.directory.is_dir():
+            return removed
+        now = time.time()
+        for path in sorted(self.directory.glob("*.tmp")):
+            path.unlink(missing_ok=True)
+            removed.append(path)
+        current_suffix = f"--v{CHECKPOINT_VERSION}.ckpt"
+        for path in sorted(self.directory.glob("*.ckpt")):
+            stale_version = not path.name.endswith(current_suffix)
+            too_old = (max_age_days is not None and
+                       now - path.stat().st_mtime > max_age_days * 86400)
+            if remove_all or stale_version or too_old:
+                path.unlink(missing_ok=True)
+                removed.append(path)
+        return removed

@@ -15,12 +15,16 @@ Python:
 * ``repro-smarts simpoint gcc.syn`` — run the SimPoint baseline.
 * ``repro-smarts experiment fig6`` — regenerate one of the paper's
   tables/figures and print its report.
+* ``repro-smarts checkpoint build|ls|gc`` — manage the warm-state
+  checkpoint store that ``--checkpoints`` runs restore from.
 
 Every command accepts ``--machine {8-way,16-way}`` (the scaled Table 3
 configurations) and ``--scale`` to control benchmark length.
 ``estimate``, ``sweep``, and ``experiment`` accept ``--json`` to emit
 machine-readable payloads (``RunResult.to_dict()`` for estimates and
-sweeps) instead of text tables.
+sweeps) instead of text tables, and ``--checkpoints`` to replace
+functional fast-forwarding with checkpointed warm-state restore
+(estimates are bit-identical either way).
 """
 
 from __future__ import annotations
@@ -31,13 +35,16 @@ import sys
 from typing import Sequence
 
 from repro.api import (
+    DEFAULT_STRIDE,
     EXPERIMENTS,
     STRATEGIES,
+    CheckpointStore,
     RunSpec,
     Session,
     SystematicStrategy,
     SUITE_NAMES,
     format_table,
+    resolve_benchmark,
     resolve_machine,
     run_reference,
     run_simpoint,
@@ -87,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit the RunResult payload as JSON")
     estimate.add_argument("--no-cache", action="store_true",
                           help="bypass the on-disk run-result cache")
+    estimate.add_argument("--checkpoints", action="store_true",
+                          help="restore checkpointed warm state at each "
+                               "sampling unit instead of fast-forwarding "
+                               "(builds the checkpoint set on first use)")
 
     sweep = sub.add_parser(
         "sweep", help="run a batch of estimates across benchmarks/machines")
@@ -107,6 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the RunResult payloads as JSON")
     sweep.add_argument("--no-cache", action="store_true",
                        help="bypass the on-disk run-result cache")
+    sweep.add_argument("--checkpoints", action="store_true",
+                       help="restore checkpointed warm state at each "
+                            "sampling unit (sets are built once and "
+                            "shared across workers)")
 
     reference = sub.add_parser(
         "reference", help="run full-stream detailed simulation")
@@ -127,6 +142,33 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--json", action="store_true",
                             help="emit the experiment data as JSON "
                                  "(without the text report)")
+    experiment.add_argument("--checkpoints", action="store_true",
+                            help="run the experiment's estimation sweeps "
+                                 "with checkpointed functional warming")
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="manage the warm-state checkpoint store")
+    ckpt_sub = checkpoint.add_subparsers(dest="checkpoint_command",
+                                         required=True)
+    build = ckpt_sub.add_parser(
+        "build", help="build (or refresh) the checkpoint set for a benchmark")
+    build.add_argument("benchmark", choices=[*SUITE_NAMES, "micro.syn"])
+    _add_common(build)
+    build.add_argument("--unit-size", type=int, default=50,
+                       help="sampling unit size U the set is keyed by")
+    build.add_argument("--stride", type=int, default=None,
+                       help="snapshot stride in sampling units; omit to "
+                            "keep an existing set's grid (new builds "
+                            f"default to {DEFAULT_STRIDE})")
+    ls = ckpt_sub.add_parser("ls", help="list the stored checkpoint sets")
+    ls.add_argument("--json", action="store_true",
+                    help="emit the set metadata as JSON")
+    gc = ckpt_sub.add_parser(
+        "gc", help="remove stale checkpoint sets (old versions, tmp files)")
+    gc.add_argument("--all", action="store_true",
+                    help="remove every checkpoint set")
+    gc.add_argument("--max-age-days", type=float, default=None,
+                    help="also remove sets older than this many days")
 
     return parser
 
@@ -194,6 +236,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         metric=args.metric,
         epsilon=args.epsilon,
         confidence=args.confidence,
+        checkpoints="auto" if args.checkpoints else "off",
     )
     session = Session(use_cache=not args.no_cache)
     result = session.run(spec)
@@ -231,6 +274,10 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     print(f"measured instructions: {result.instructions_measured:,} "
           f"({result.instructions_measured / result.benchmark_length:.2%} "
           f"of the stream)")
+    if result.checkpoint_restores:
+        print(f"checkpoint restores  : {result.checkpoint_restores} "
+              f"({result.instructions_restored:,} instructions skipped, "
+              f"{result.instructions_fastforwarded:,} still fast-forwarded)")
     if validation is not None:
         print(f"true {label} (full run)  : {validation['true_value']:.4f}")
         print(f"actual error         : {validation['error']:+.2%}")
@@ -256,7 +303,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     specs = session.sweep_specs(
         benchmarks=benchmarks, machines=machines, strategy=strategy,
         scale=args.scale, metric=args.metric, seed=args.seed,
-        epsilon=args.epsilon)
+        epsilon=args.epsilon,
+        checkpoints="auto" if args.checkpoints else "off")
     results = session.run_batch(specs, max_workers=args.workers)
 
     if args.json:
@@ -316,8 +364,65 @@ def _cmd_simpoint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    store = CheckpointStore()
+    if args.checkpoint_command == "build":
+        program = resolve_benchmark(args.benchmark, args.scale)
+        machine = resolve_machine(args.machine)
+        kwargs = {} if args.stride is None else {"stride": args.stride}
+        ckpt = store.get_or_build(program, machine, args.unit_size, **kwargs)
+        path = store.path_for(program, machine, args.unit_size)
+        print(f"benchmark       : {args.benchmark} "
+              f"({ckpt.benchmark_length:,} instructions)")
+        print(f"machine         : {machine.name} (warm geometry "
+              f"{ckpt.machine_hash})")
+        print(f"unit size       : {ckpt.unit_size}")
+        print(f"snapshots       : {len(ckpt.snapshots)} "
+              f"(every {ckpt.stride * ckpt.unit_size:,} instructions)")
+        print(f"file            : {path} "
+              f"({path.stat().st_size / 1024:.0f} KiB)")
+        return 0
+    if args.checkpoint_command == "ls":
+        rows = store.entries()
+        if args.json:
+            print(json.dumps({"directory": str(store.directory),
+                              "sets": rows}, indent=2, sort_keys=True))
+            return 0
+        table_rows = [[r["benchmark"], r["machine"], r["unit_size"],
+                       r["stride"], r["snapshots"],
+                       f"{r['benchmark_length']:,}", r["machine_hash"],
+                       f"{r['size_bytes'] / 1024:.0f} KiB"]
+                      for r in rows]
+        print(format_table(
+            ["benchmark", "machine", "U", "stride", "snapshots", "length",
+             "geometry", "size"],
+            table_rows,
+            title=f"Checkpoint store: {store.directory} "
+                  f"({len(rows)} sets)"))
+        return 0
+    # gc
+    removed = store.gc(max_age_days=args.max_age_days, remove_all=args.all)
+    print(f"removed {len(removed)} file(s) from {store.directory}")
+    for path in removed:
+        print(f"  {path.name}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    data = EXPERIMENTS[args.name]()
+    if args.checkpoints:
+        from repro.api import default_context
+
+        # default_context() is process-cached; restore the prior mode so
+        # the flag never leaks into later runs in the same process.
+        ctx = default_context()
+        previous = ctx.checkpoints
+        ctx.checkpoints = "auto"
+        try:
+            data = EXPERIMENTS[args.name](ctx)
+        finally:
+            ctx.checkpoints = previous
+    else:
+        data = EXPERIMENTS[args.name]()
     if args.json:
         payload = {key: _to_jsonable(value)
                    for key, value in data.items() if key != "report"}
@@ -332,18 +437,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "estimate":
-        return _cmd_estimate(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "reference":
-        return _cmd_reference(args)
-    if args.command == "simpoint":
-        return _cmd_simpoint(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "estimate":
+            return _cmd_estimate(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "reference":
+            return _cmd_reference(args)
+        if args.command == "simpoint":
+            return _cmd_simpoint(args)
+        if args.command == "checkpoint":
+            return _cmd_checkpoint(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `... | head`) closed the pipe; point
+        # stdout at devnull so interpreter shutdown doesn't re-raise.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

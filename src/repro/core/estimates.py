@@ -90,6 +90,10 @@ class SmartsRunResult:
     instructions_measured: int = 0
     instructions_detailed_warming: int = 0
     instructions_fastforwarded: int = 0
+    #: Instructions skipped by checkpoint restores (zero without a
+    #: checkpoint set) and the number of restores performed.
+    instructions_restored: int = 0
+    checkpoint_restores: int = 0
 
     #: Wall-clock seconds spent in each simulation mode.
     seconds_detailed: float = 0.0
@@ -155,6 +159,9 @@ class SmartsRunResult:
             "epi_ci_997": epi.confidence_interval(CONFIDENCE_997),
             "detailed_fraction": self.detailed_fraction,
             "instructions_measured": self.instructions_measured,
+            "instructions_fastforwarded": self.instructions_fastforwarded,
+            "instructions_restored": self.instructions_restored,
+            "checkpoint_restores": self.checkpoint_restores,
             "benchmark_length": self.benchmark_length,
         }
 

@@ -151,6 +151,7 @@ def estimate_metric(
     max_rounds: int = 2,
     offset: int = 0,
     benchmark_length: int | None = None,
+    checkpoints=None,
 ) -> ProcedureResult:
     """Estimate CPI or EPI of ``program`` using the SMARTS procedure.
 
@@ -169,6 +170,9 @@ def estimate_metric(
         offset: Systematic sample phase j for the first run.
         benchmark_length: Dynamic instruction count; measured with a
             functional pass when not supplied.
+        checkpoints: Optional :class:`repro.checkpoint.CheckpointSet`;
+            every sampling round restores pre-warmed state at each unit
+            instead of fast-forwarding (estimates are unaffected).
 
     Returns:
         A :class:`ProcedureResult` holding every run plus the final
@@ -179,7 +183,11 @@ def estimate_metric(
     if max_rounds <= 0:
         raise ValueError("max_rounds must be positive")
     if benchmark_length is None:
-        benchmark_length = measure_program_length(program)
+        if checkpoints is not None:
+            # The checkpoint build pass already measured the program.
+            benchmark_length = checkpoints.benchmark_length
+        else:
+            benchmark_length = measure_program_length(program)
     if detailed_warming is None:
         detailed_warming = recommended_warming(machine)
 
@@ -203,7 +211,8 @@ def estimate_metric(
             functional_warming=functional_warming,
         )
         run = run_smarts(program, machine, plan, benchmark_length,
-                         measure_energy=(metric == "epi"))
+                         measure_energy=(metric == "epi"),
+                         checkpoints=checkpoints)
         result.runs.append(run)
         estimate = run.cpi if metric == "cpi" else run.epi
         if estimate.confidence_interval(confidence) <= epsilon:

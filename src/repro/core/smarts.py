@@ -35,10 +35,20 @@ from repro.isa.program import Program
 
 @dataclass
 class SmartsEngine:
-    """Runs SMARTS sampling simulations on one machine configuration."""
+    """Runs SMARTS sampling simulations on one machine configuration.
+
+    ``checkpoints`` (a :class:`repro.checkpoint.CheckpointSet`, here or
+    per-``run``) lets the engine *restore* pre-warmed state at each
+    sampling unit instead of fast-forwarding from wherever the previous
+    unit ended.  Because functional warming and detailed simulation
+    maintain long-history state identically, restored runs are
+    bit-identical to serial ones in every per-unit measurement; only the
+    fast-forward bookkeeping differs.
+    """
 
     machine: MachineConfig
     measure_energy: bool = True
+    checkpoints: object | None = None
 
     def run(
         self,
@@ -46,6 +56,7 @@ class SmartsEngine:
         plan: SamplingPlan,
         benchmark_length: int,
         cold_start: bool = True,
+        checkpoints=None,
     ) -> SmartsRunResult:
         """Execute one SMARTS sampling run.
 
@@ -59,6 +70,10 @@ class SmartsEngine:
             cold_start: When True (default) the run begins with cold
                 microarchitectural state, as a fresh simulator invocation
                 would.
+            checkpoints: Optional checkpoint set overriding the engine's
+                own.  Used only for cold-start runs with functional
+                warming (snapshots capture the cold-start warming
+                trajectory, which other modes do not follow).
 
         Returns:
             A :class:`SmartsRunResult` with per-unit measurements and
@@ -71,6 +86,16 @@ class SmartsEngine:
         detailed = DetailedSimulator(self.machine, microarch)
         warmer = FunctionalWarmer(microarch) if plan.functional_warming else None
         energy_model = EnergyModel(self.machine) if self.measure_energy else None
+
+        if checkpoints is None:
+            checkpoints = self.checkpoints
+        if checkpoints is not None and (warmer is None or not cold_start):
+            checkpoints = None
+        if checkpoints is not None and not checkpoints.matches(program, self.machine):
+            raise ValueError(
+                "checkpoint set was built for a different program or "
+                "machine warm geometry; rebuild it (or run without "
+                "checkpoints)")
 
         result = SmartsRunResult(
             benchmark=program.name,
@@ -92,8 +117,17 @@ class SmartsEngine:
             if position >= benchmark_length or core.halted:
                 break
 
-            # Fast-forward up to the start of the detailed-warming window.
+            # Fast-forward up to the start of the detailed-warming window,
+            # first jumping over as much of the gap as a checkpoint covers.
             warm_start = max(unit.start - warming, position)
+            if checkpoints is not None:
+                index = checkpoints.restore_point(warm_start)
+                if index is not None and checkpoints.position(index) > position:
+                    skipped = checkpoints.restore_into(index, core, microarch)
+                    result.instructions_restored += skipped
+                    result.checkpoint_restores += 1
+                    pipeline_stale = True
+                    position = core.instructions_retired
             fast_forward = warm_start - position
             if fast_forward > 0:
                 t0 = time.perf_counter()
@@ -149,7 +183,8 @@ def run_smarts(
     plan: SamplingPlan,
     benchmark_length: int,
     measure_energy: bool = True,
+    checkpoints=None,
 ) -> SmartsRunResult:
     """Convenience wrapper: run one SMARTS sampling simulation."""
     engine = SmartsEngine(machine=machine, measure_energy=measure_energy)
-    return engine.run(program, plan, benchmark_length)
+    return engine.run(program, plan, benchmark_length, checkpoints=checkpoints)

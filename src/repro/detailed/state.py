@@ -36,6 +36,27 @@ class MicroarchState:
         self.hierarchy.reset_stats()
         self.branch_unit.reset_stats()
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable copy of all long-history warm state.
+
+        This is exactly the state functional warming maintains (caches,
+        TLBs, branch prediction structures); statistics counters are
+        excluded.  Short-history pipeline state is owned by the detailed
+        simulator and re-created by ``begin_period``.
+        """
+        return {
+            "hierarchy": self.hierarchy.snapshot_state(),
+            "branch": self.branch_unit.warm_state(),
+        }
+
+    def restore_state(self, saved: dict) -> None:
+        """Restore warm state captured by :meth:`snapshot_state`."""
+        self.hierarchy.restore_state(saved["hierarchy"])
+        self.branch_unit.restore_warm_state(saved["branch"])
+
     def stats_summary(self) -> dict[str, float]:
         summary = self.hierarchy.stats_summary()
         summary["branch_misprediction_rate"] = self.branch_unit.misprediction_rate

@@ -1,7 +1,7 @@
 """Functional simulation: fast-forwarding and functional warming."""
 
 from repro.functional.simulator import INST_SIZE, FunctionalCore, measure_program_length
-from repro.functional.warming import WARMING_OVERHEAD, FunctionalWarmer
+from repro.functional.warming import WARMING_OVERHEAD, FunctionalWarmer, warming_pass
 
 __all__ = [
     "FunctionalCore",
@@ -9,4 +9,5 @@ __all__ = [
     "INST_SIZE",
     "WARMING_OVERHEAD",
     "measure_program_length",
+    "warming_pass",
 ]

@@ -245,6 +245,48 @@ class FunctionalCore:
                 executed += 1
         return executed
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def capture_arch(self) -> dict:
+        """Serializable copy of the architectural state at this position.
+
+        Memory is captured in full; callers that want compact snapshots
+        (the checkpoint store) diff it against the program image or a
+        previous capture themselves.
+        """
+        state = self.state
+        return {
+            "position": self.instructions_retired,
+            "pc": state.pc,
+            "halted": state.halted,
+            "int_regs": list(state.int_regs),
+            "fp_regs": list(state.fp_regs),
+            "memory": dict(state.memory),
+        }
+
+    def restore_arch(self, position: int, pc: int, halted: bool,
+                     int_regs: list[int], fp_regs: list[float],
+                     memory_updates: list[dict] | None = None) -> None:
+        """Jump the core to a checkpointed stream position.
+
+        Registers, PC and halt flag are replaced wholesale;
+        ``memory_updates`` is an ordered list of ``{address: value}``
+        deltas applied *on top of* the current memory image (the sparse
+        memory only ever grows, so forward deltas reconstruct any later
+        state exactly).  Pass ``None`` to leave memory untouched.
+        """
+        state = self.state
+        state.pc = pc
+        state.halted = halted
+        state.int_regs = list(int_regs)
+        state.fp_regs = list(fp_regs)
+        if memory_updates:
+            memory = state.memory
+            for delta in memory_updates:
+                memory.update(delta)
+        self.instructions_retired = position
+
     def run_to_completion(self, limit: int | None = None) -> int:
         """Execute until the program halts (or ``limit`` instructions)."""
         executed = 0

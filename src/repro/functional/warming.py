@@ -48,3 +48,39 @@ class FunctionalWarmer:
     # The warmer is designed to be passed directly as the per-instruction
     # callback of :meth:`repro.functional.simulator.FunctionalCore.run`.
     __call__ = observe
+
+
+def warming_pass(core, warmer: FunctionalWarmer, chunk_size: int,
+                 limit: int | None = None):
+    """Functionally warm ``core`` in fixed strides, yielding at boundaries.
+
+    The generator drives one functional-warming pass over the program in
+    ``chunk_size``-instruction strides and yields ``(position,
+    written_addresses)`` after every *complete* stride — the snapshot
+    points of the checkpoint subsystem.  ``written_addresses`` is the set
+    of (word-aligned) memory addresses stored to during that stride, so
+    consumers can record compact per-stride memory deltas.  The pass ends
+    when the program halts (no partial-stride snapshot is emitted; a
+    restore point past the halt would never be used) or when ``limit``
+    instructions have executed.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    written: set[int] = set()
+
+    def observe(dyn) -> None:
+        warmer.observe(dyn)
+        if dyn.is_store:
+            written.add(dyn.mem_addr)
+
+    position = core.instructions_retired
+    while not core.halted and (limit is None or position < limit):
+        budget = chunk_size
+        if limit is not None:
+            budget = min(budget, limit - position)
+        executed = core.run(budget, observe)
+        position += executed
+        if executed < budget or executed == 0:
+            break
+        yield position, written
+        written = set()

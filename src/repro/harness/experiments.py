@@ -74,6 +74,9 @@ class ExperimentContext:
     #: Worker processes for suite sweeps (0/None = serial; REPRO_WORKERS).
     max_workers: int | None = field(
         default_factory=lambda: int(os.environ.get("REPRO_WORKERS") or 0) or None)
+    #: Checkpoint mode for suite sweeps ("off"/"auto"; REPRO_CHECKPOINTS).
+    checkpoints: str = field(
+        default_factory=lambda: os.environ.get("REPRO_CHECKPOINTS", "off"))
 
     def __post_init__(self) -> None:
         if not self.suite_names:
@@ -166,6 +169,7 @@ class ExperimentContext:
             confidence=self.confidence,
             benchmark_length=self.reference(benchmark_name,
                                             machine_name).instructions,
+            checkpoints=self.checkpoints,
         )
 
     def run_estimations(self, cells: list[tuple[str, str]],
@@ -639,9 +643,80 @@ def table6_runtimes(ctx: ExperimentContext, machine_name: str = "8-way") -> dict
         title=f"Table 6: runtimes for SMARTS compared to detailed and "
               f"functional simulation ({machine_name}); measured rates: "
               f"S_D={measured.s_detailed:.3f}, S_FW={measured.s_warming:.3f}")
+
+    checkpoint = table6_checkpoint_comparison(ctx, machine_name)
+    report = report + "\n\n" + checkpoint.pop("report")
     return {"details": details, "measured_rates": measured,
             "average_speedup": average_speedup,
-            "paper_scale_average_speedup": paper_average, "report": report}
+            "paper_scale_average_speedup": paper_average,
+            "checkpoint": checkpoint, "report": report}
+
+
+def table6_checkpoint_comparison(ctx: ExperimentContext,
+                                 machine_name: str = "8-way") -> dict:
+    """Checkpointed column of Table 6: measured, count-based.
+
+    For a behaviourally diverse subset, one systematic sampling run is
+    executed twice — serial functional warming vs. checkpointed restore
+    — and compared on the *instruction counts* each mode executed (the
+    container is single-core, so wall-clock speedups are never
+    asserted).  The per-unit measurements of the two runs must be
+    bit-identical; the checkpointed run merely replaces most functional
+    warming work with snapshot restores.
+    """
+    from repro.checkpoint import CheckpointStore
+    from repro.core.sampling import SystematicSamplingPlan
+    from repro.core.smarts import run_smarts
+
+    machine = ctx.machine(machine_name)
+    # Go through the store (honouring ctx.use_cache like the reference
+    # traces do) so repeated table6 runs pay the warming build only once.
+    store = CheckpointStore(enabled=ctx.use_cache)
+    rows = []
+    details: dict[str, dict] = {}
+    for name in ctx.subset(2 if ctx.fast else 3):
+        benchmark = ctx.benchmark(name)
+        length = ctx.benchmark_length(name)
+        plan = SystematicSamplingPlan.for_sample_size(
+            benchmark_length=length,
+            unit_size=ctx.unit_size,
+            target_sample_size=min(ctx.n_init, length // ctx.unit_size),
+            detailed_warming=ctx.warming(machine),
+        )
+        serial = run_smarts(benchmark.program, machine, plan, length,
+                            measure_energy=False)
+        ckpt = store.get_or_build(benchmark.program, machine, ctx.unit_size)
+        restored = run_smarts(benchmark.program, machine, plan, length,
+                              measure_energy=False, checkpoints=ckpt)
+        ff_serial = serial.instructions_fastforwarded
+        ff_ckpt = restored.instructions_fastforwarded
+        reduction = 1.0 - ff_ckpt / ff_serial if ff_serial else 0.0
+        details[name] = {
+            "ff_serial": ff_serial,
+            "ff_checkpointed": ff_ckpt,
+            "instructions_restored": restored.instructions_restored,
+            "checkpoint_restores": restored.checkpoint_restores,
+            "warming_reduction": reduction,
+            "identical_units": serial.units == restored.units,
+        }
+        rows.append([
+            name,
+            f"{ff_serial:,}",
+            f"{ff_ckpt:,}",
+            f"{restored.instructions_restored:,}",
+            percent(reduction),
+            "yes" if details[name]["identical_units"] else "NO",
+        ])
+    average = float(np.mean([d["warming_reduction"] for d in details.values()]))
+    report = format_table(
+        ["benchmark", "warmed instr. (serial)", "warmed instr. (ckpt)",
+         "restored instr.", "warming reduction", "bit-identical"],
+        rows,
+        title=f"Table 6 (checkpointed column): functional-warming "
+              f"instructions with and without checkpoint restore "
+              f"({machine_name})")
+    return {"details": details, "average_warming_reduction": average,
+            "report": report}
 
 
 # ----------------------------------------------------------------------

@@ -151,6 +151,9 @@ class SetAssociativeCache:
         return [[list(entry) for entry in s] for s in self._sets]
 
     def restore_state(self, saved: list[list[list]]) -> None:
+        if len(saved) != self.num_sets:
+            raise ValueError(f"saved state for cache {self.name!r} has the "
+                             f"wrong geometry")
         self._sets = [[list(entry) for entry in s] for s in saved]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -97,6 +97,29 @@ class MemoryHierarchy:
         self.itlb.flush()
         self.dtlb.flush()
 
+    def snapshot_state(self) -> dict:
+        """Serializable copy of all cache/TLB contents (checkpointing).
+
+        Captures tag arrays, dirty bits and LRU order — everything that
+        influences future accesses — but not the access statistics, which
+        are reporting-only.
+        """
+        return {
+            "l1i": self.l1i.copy_state(),
+            "l1d": self.l1d.copy_state(),
+            "l2": self.l2.copy_state(),
+            "itlb": self.itlb.copy_state(),
+            "dtlb": self.dtlb.copy_state(),
+        }
+
+    def restore_state(self, saved: dict) -> None:
+        """Restore cache/TLB contents captured by :meth:`snapshot_state`."""
+        self.l1i.restore_state(saved["l1i"])
+        self.l1d.restore_state(saved["l1d"])
+        self.l2.restore_state(saved["l2"])
+        self.itlb.restore_state(saved["itlb"])
+        self.dtlb.restore_state(saved["dtlb"])
+
     def reset_stats(self) -> None:
         self.l1i.reset_stats()
         self.l1d.reset_stats()

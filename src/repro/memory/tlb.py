@@ -78,3 +78,12 @@ class TLB:
 
     def reset_stats(self) -> None:
         self.stats = TLBStats()
+
+    def copy_state(self) -> list[list[int]]:
+        """Deep copy of the tag sets, LRU order included (checkpointing)."""
+        return [list(s) for s in self._sets]
+
+    def restore_state(self, saved: list[list[int]]) -> None:
+        if len(saved) != self.num_sets:
+            raise ValueError("saved TLB state has the wrong geometry")
+        self._sets = [list(s) for s in saved]

@@ -1,0 +1,23 @@
+"""Resolution of the repository-level on-disk cache directories.
+
+Every persistent cache (run results, reference traces, checkpoint sets)
+resolves its directory the same way: an environment variable wins,
+otherwise the repository root of a src-layout checkout, falling back to
+the working directory for installed packages (where the package's
+grandparent is a site-packages tree, not a writable project root).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def project_cache_dir(env_var: str, dirname: str) -> Path:
+    env = os.environ.get(env_var)
+    if env:
+        return Path(env)
+    root = Path(__file__).resolve().parents[2]
+    if (root / "src" / "repro").is_dir():
+        return root / dirname
+    return Path.cwd() / dirname

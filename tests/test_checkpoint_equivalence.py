@@ -1,0 +1,191 @@
+"""Golden equivalence: checkpointed runs are bit-identical to serial ones.
+
+The correctness contract of ``repro.checkpoint`` is exactness: restoring
+snapshotted warm state at a sampling unit must reproduce, bit for bit,
+the state the serial engine would have reached by functionally warming
+its way there — for *every* sampling strategy, including the systematic
+procedure's sample-size tuning round.  These tests compare full estimate
+payloads (``RunResult.estimates_dict()``: per-unit cycle counts, CPI/EPI
+estimates, CVs, confidence intervals, round history), not just the final
+CPI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    RandomStrategy,
+    RunSpec,
+    Session,
+    StratifiedStrategy,
+    SystematicStrategy,
+    run_spec,
+)
+from repro.checkpoint import build_checkpoints
+from repro.core.sampling import SystematicSamplingPlan
+from repro.core.smarts import SmartsEngine
+
+
+@pytest.fixture(autouse=True)
+def isolated_stores(tmp_path, monkeypatch):
+    """Keep checkpoint and run caches out of the repository."""
+    monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "ckpt"))
+    monkeypatch.setenv("REPRO_RUN_CACHE_DIR", str(tmp_path / "runs"))
+
+
+#: Small-but-real strategy parameterizations on the ~15k-instruction micro
+#: benchmark: every strategy restores dozens of times per run.
+STRATEGIES = {
+    "systematic": SystematicStrategy(unit_size=25, n_init=60, max_rounds=2,
+                                     detailed_warming=50),
+    "random": RandomStrategy(unit_size=25, sample_size=60,
+                             detailed_warming=50),
+    "stratified": StratifiedStrategy(unit_size=25, sample_size=60,
+                                     units_per_interval=10,
+                                     detailed_warming=50),
+}
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+@pytest.mark.parametrize("metric", ["cpi", "epi"])
+def test_checkpointed_run_bit_identical(name, metric):
+    strategy = STRATEGIES[name]
+    base = RunSpec(benchmark="micro.syn", strategy=strategy, metric=metric,
+                   seed=3)
+    serial = run_spec(base.with_(checkpoints="off"))
+    restored = run_spec(base.with_(checkpoints="auto"))
+
+    # The full estimate payload — spec, estimates, CIs, per-round and
+    # per-unit measurements — matches exactly.
+    assert restored.estimates_dict() == serial.estimates_dict()
+
+    # ...and the checkpointed run actually checkpointed: it restored at
+    # sampling units and fast-forwarded strictly fewer instructions.
+    assert restored.checkpoint_restores > 0
+    assert restored.instructions_restored > 0
+    assert (restored.instructions_fastforwarded
+            < serial.instructions_fastforwarded)
+    # Work conservation: restore skips exactly what it no longer warms.
+    assert (restored.instructions_fastforwarded
+            + restored.instructions_restored
+            == serial.instructions_fastforwarded
+            + serial.instructions_restored)
+
+
+def test_systematic_tuning_round_preserved():
+    """The 2-round procedure tunes to the same n with checkpoints on."""
+    spec = RunSpec(benchmark="micro.syn",
+                   strategy=STRATEGIES["systematic"], epsilon=0.01)
+    serial = run_spec(spec.with_(checkpoints="off"))
+    restored = run_spec(spec.with_(checkpoints="auto"))
+    assert serial.rounds == restored.rounds
+    assert serial.tuned_sample_sizes == restored.tuned_sample_sizes
+    assert serial.round_estimates == restored.round_estimates
+
+
+def test_engine_level_equivalence(micro, machine_8way):
+    """Direct engine use: same plan, with and without a checkpoint set."""
+    program = micro.program
+    length = 15_000
+    # W must stay below the inter-unit gap (k*U = 300 here) or the run
+    # degenerates to continuous detailed simulation with nothing to skip.
+    plan = SystematicSamplingPlan.for_sample_size(
+        benchmark_length=length, unit_size=25, target_sample_size=50,
+        detailed_warming=50)
+    engine = SmartsEngine(machine=machine_8way, measure_energy=True)
+    serial = engine.run(program, plan, length)
+    ckpt = build_checkpoints(program, machine_8way, unit_size=25)
+    restored = engine.run(program, plan, length, checkpoints=ckpt)
+    assert restored.units == serial.units
+    assert restored.checkpoint_restores > 0
+
+
+def test_checkpoints_shared_across_strategies(micro, machine_8way):
+    """One set (one build pass) serves every strategy of the same U."""
+    ckpt = build_checkpoints(micro.program, machine_8way, unit_size=25)
+    length = ckpt.benchmark_length
+    for name, strategy in STRATEGIES.items():
+        serial = strategy.run(micro.program, machine_8way, length)
+        restored = strategy.run(micro.program, machine_8way, length,
+                                checkpoints=ckpt)
+        for serial_run, restored_run in zip(serial.runs, restored.runs):
+            assert restored_run.units == serial_run.units, name
+        # The systematic procedure's tuned round may run back-to-back
+        # units (k=1, nothing to skip); the *pass as a whole* restores.
+        assert sum(run.checkpoint_restores for run in restored.runs) > 0, name
+
+
+def test_no_functional_warming_never_checkpointed():
+    """Snapshots hold warmed state; no-warming runs must not see it."""
+    strategy = SystematicStrategy(unit_size=25, n_init=40, max_rounds=1,
+                                  detailed_warming=50,
+                                  functional_warming=False)
+    spec = RunSpec(benchmark="micro.syn", strategy=strategy)
+    serial = run_spec(spec.with_(checkpoints="off"))
+    auto = run_spec(spec.with_(checkpoints="auto"))
+    assert auto.checkpoint_restores == 0
+    assert auto.estimates_dict() == serial.estimates_dict()
+
+
+def test_warming_mirrors_detailed_btb_recency():
+    """The state-path-independence invariant the subsystem rests on.
+
+    ``resolve`` consults the BTB (an MRU-moving lookup) for every
+    predicted-taken branch; for a predicted-taken branch that is
+    actually NOT taken, no update follows to mask the recency change.
+    ``warm`` must mirror that lookup, or a functionally-warmed BTB
+    diverges from a detailed-simulated one as soon as the recency
+    difference decides an eviction.  This constructs that exact case:
+    the repository's workloads happen not to exercise it, so without
+    this test the mirror in ``BranchUnit.warm`` would be unverified.
+    """
+    from repro.branch import BranchUnit
+    from repro.config.machines import BranchConfig
+    from repro.isa import Opcode
+    from repro.isa.instruction import DynInst
+    from repro.isa.opcodes import OpClass
+
+    def branch(pc, taken, target):
+        return DynInst(seq=0, pc=pc, op=Opcode.BEQ, opclass=OpClass.BRANCH,
+                       rd=None, srcs=(), mem_addr=None, is_load=False,
+                       is_store=False, is_branch=True, is_conditional=True,
+                       taken=taken, next_pc=target if taken else pc + 1)
+
+    config = BranchConfig(table_entries=64, history_bits=4, btb_entries=4,
+                          btb_assoc=2)
+    num_sets = 2
+    a, b, c = 2, 2 + num_sets, 2 + 2 * num_sets  # same BTB set
+
+    # Identical training stream; one unit warms, one resolves.
+    stream = (
+        # Fill the set: [a, b] with b most recent; train "taken" at a.
+        [branch(a, True, 40)] * 4 + [branch(b, True, 41)]
+        # Predicted-taken at a, actually NOT taken: resolve touches a's
+        # recency via the BTB lookup, an un-mirrored warm would not.
+        + [branch(a, False, 40)]
+        # Third PC forces an eviction decided by that recency order.
+        + [branch(c, True, 42)]
+    )
+    warmed = BranchUnit(config)
+    detailed = BranchUnit(config)
+    for dyn in stream:
+        warmed.warm(dyn)
+        detailed.resolve(dyn)
+    assert warmed.btb.warm_state() == detailed.btb.warm_state()
+    # And the divergent victim choice this protects against: 'a' must
+    # survive (it was made most-recent by the lookup), 'b' be evicted.
+    assert warmed.btb.lookup(a) == 40
+    assert warmed.btb.lookup(b) is None
+
+
+def test_parallel_batch_matches_serial_with_checkpoints():
+    """Cache-off parallel execution with checkpoints stays bit-identical."""
+    specs = [RunSpec(benchmark="micro.syn", strategy=STRATEGIES[name],
+                     checkpoints="auto", seed=1)
+             for name in sorted(STRATEGIES)]
+    session = Session(use_cache=False)
+    serial = session.run_batch(specs)
+    parallel = session.run_batch(specs, max_workers=2)
+    for left, right in zip(serial, parallel):
+        assert left.estimates_dict() == right.estimates_dict()

@@ -1,0 +1,208 @@
+"""Checkpoint store: build, persist, restore semantics, invalidation.
+
+The regression test this file exists for: a checkpoint set built for one
+machine geometry must *never* be restored after the geometry changes —
+a modified cache/TLB/predictor shape maps to a different store key, the
+stale set is reported with a :class:`StaleCheckpointWarning`, and a
+fresh build produces exactly the estimates a from-zero run produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointStore,
+    StaleCheckpointWarning,
+    build_checkpoints,
+    machine_warm_fingerprint,
+    program_fingerprint,
+)
+from repro.config.machines import CacheConfig
+from repro.core.sampling import SystematicSamplingPlan
+from repro.core.smarts import SmartsEngine
+from repro.detailed.state import MicroarchState
+from repro.functional.simulator import FunctionalCore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "ckpt")
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return SystematicSamplingPlan.for_sample_size(
+        benchmark_length=15_000, unit_size=25, target_sample_size=40,
+        detailed_warming=50)
+
+
+def shrunk_l1d(machine):
+    """The same machine with a halved, direct-mapped L1D."""
+    return replace(machine, l1d=CacheConfig(2 * 1024, 1, block_bytes=32))
+
+
+# ----------------------------------------------------------------------
+# Build and restore mechanics
+# ----------------------------------------------------------------------
+class TestBuildAndRestore:
+    def test_build_records_length_and_grid(self, micro, machine_8way):
+        ckpt = build_checkpoints(micro.program, machine_8way, unit_size=25,
+                                 stride=4)
+        chunk = 25 * 4
+        assert ckpt.benchmark_length > 0
+        assert len(ckpt.snapshots) == ckpt.benchmark_length // chunk
+        assert [s.position for s in ckpt.snapshots] == [
+            chunk * (i + 1) for i in range(len(ckpt.snapshots))]
+
+    def test_restore_reproduces_functional_state(self, micro, machine_8way):
+        """Restoring then executing equals executing from zero."""
+        ckpt = build_checkpoints(micro.program, machine_8way, unit_size=25)
+        target = ckpt.snapshots[5].position + 37  # off-grid position
+
+        reference = FunctionalCore(micro.program)
+        reference.run(target)
+
+        core = FunctionalCore(micro.program)
+        micro_state = MicroarchState(machine_8way)
+        index = ckpt.restore_point(target)
+        skipped = ckpt.restore_into(index, core, micro_state)
+        assert skipped == ckpt.snapshots[index].position
+        core.run(target - core.instructions_retired)
+
+        assert core.instructions_retired == reference.instructions_retired
+        assert core.state == reference.state
+
+    def test_restore_refuses_backward_jumps(self, micro, machine_8way):
+        ckpt = build_checkpoints(micro.program, machine_8way, unit_size=25)
+        core = FunctionalCore(micro.program)
+        core.run(ckpt.snapshots[3].position + 1)
+        with pytest.raises(ValueError, match="backwards"):
+            ckpt.restore_into(3, core, MicroarchState(machine_8way))
+
+    def test_restore_point_bounds(self, micro, machine_8way):
+        ckpt = build_checkpoints(micro.program, machine_8way, unit_size=25)
+        first = ckpt.snapshots[0].position
+        assert ckpt.restore_point(first - 1) is None
+        assert ckpt.restore_point(first) == 0
+        assert ckpt.restore_point(ckpt.benchmark_length * 2) == (
+            len(ckpt.snapshots) - 1)
+
+    def test_roundtrip_through_disk(self, store, micro, machine_8way):
+        built = build_checkpoints(micro.program, machine_8way, unit_size=25)
+        store.put(built, micro.program, machine_8way)
+        loaded = store.get(micro.program, machine_8way, unit_size=25)
+        assert loaded is not None
+        assert loaded.benchmark_length == built.benchmark_length
+        assert [s.position for s in loaded.snapshots] == [
+            s.position for s in built.snapshots]
+        assert loaded.snapshots[0].micro == built.snapshots[0].micro
+
+    def test_get_or_build_builds_once(self, store, micro, machine_8way):
+        first = store.get_or_build(micro.program, machine_8way, unit_size=25)
+        path = store.path_for(micro.program, machine_8way, 25)
+        stamp = path.stat().st_mtime_ns
+        again = store.get_or_build(micro.program, machine_8way, unit_size=25)
+        assert path.stat().st_mtime_ns == stamp
+        assert again.benchmark_length == first.benchmark_length
+
+
+# ----------------------------------------------------------------------
+# Invalidation (the regression this file guards)
+# ----------------------------------------------------------------------
+class TestInvalidation:
+    def test_geometry_change_changes_fingerprint(self, machine_8way):
+        assert (machine_warm_fingerprint(shrunk_l1d(machine_8way))
+                != machine_warm_fingerprint(machine_8way))
+
+    def test_timing_change_keeps_fingerprint(self, machine_8way):
+        """Latency/width-only changes reuse the same warm checkpoints."""
+        retimed = replace(machine_8way, mem_latency=250, l2_latency=20,
+                          commit_width=4, ruu_size=64)
+        assert (machine_warm_fingerprint(retimed)
+                == machine_warm_fingerprint(machine_8way))
+
+    @pytest.mark.filterwarnings(
+        "ignore::repro.checkpoint.StaleCheckpointWarning")
+    def test_modified_geometry_never_restores_stale_snapshot(
+            self, store, micro, machine_8way, plan):
+        """Cache-geometry change: warn, rebuild, and match a cold run."""
+        store.get_or_build(micro.program, machine_8way, unit_size=25)
+
+        modified = shrunk_l1d(machine_8way)
+        with pytest.warns(StaleCheckpointWarning):
+            missed = store.get(micro.program, modified, unit_size=25)
+        assert missed is None
+
+        rebuilt = store.get_or_build(micro.program, modified, unit_size=25)
+        assert rebuilt.machine_hash == machine_warm_fingerprint(modified)
+
+        engine = SmartsEngine(machine=modified, measure_energy=False)
+        serial = engine.run(micro.program, plan, 15_000)
+        restored = engine.run(micro.program, plan, 15_000,
+                              checkpoints=rebuilt)
+        assert restored.units == serial.units
+        assert restored.checkpoint_restores > 0
+
+    def test_engine_rejects_mismatched_set(self, micro, machine_8way,
+                                           machine_16way, plan):
+        ckpt = build_checkpoints(micro.program, machine_8way, unit_size=25)
+        engine = SmartsEngine(machine=machine_16way, measure_energy=False)
+        with pytest.raises(ValueError, match="different program or machine"):
+            engine.run(micro.program, plan, 15_000, checkpoints=ckpt)
+
+    def test_program_change_changes_fingerprint(self, micro):
+        from repro.workloads import get_benchmark
+
+        other = get_benchmark("gzip.syn", scale=0.05).program
+        assert program_fingerprint(other) != program_fingerprint(micro.program)
+
+    def test_corrupt_file_is_a_miss(self, store, micro, machine_8way):
+        built = build_checkpoints(micro.program, machine_8way, unit_size=25)
+        path = store.put(built, micro.program, machine_8way)
+        path.write_bytes(b"not a checkpoint")
+        assert store.get(micro.program, machine_8way, unit_size=25) is None
+
+
+# ----------------------------------------------------------------------
+# Maintenance
+# ----------------------------------------------------------------------
+class TestMaintenance:
+    def test_entries_lists_metadata(self, store, micro, machine_8way,
+                                    machine_16way):
+        store.get_or_build(micro.program, machine_8way, unit_size=25)
+        store.get_or_build(micro.program, machine_16way, unit_size=25)
+        rows = store.entries()
+        assert len(rows) == 2
+        assert {row["machine_hash"] for row in rows} == {
+            machine_warm_fingerprint(machine_8way),
+            machine_warm_fingerprint(machine_16way)}
+        for row in rows:
+            assert row["benchmark"] == micro.program.name
+            assert row["snapshots"] > 0
+            assert row["size_bytes"] > 0
+
+    def test_gc_removes_stale_versions_and_tmp(self, store, micro,
+                                               machine_8way):
+        store.get_or_build(micro.program, machine_8way, unit_size=25)
+        stale = store.directory / "old--deadbeef--mfeed--u25--v0.ckpt"
+        stale.write_bytes(b"stale")
+        leftover = store.directory / "partial.tmp"
+        leftover.write_bytes(b"tmp")
+        removed = store.gc()
+        assert stale in removed and leftover in removed
+        assert store.get(micro.program, machine_8way, unit_size=25) is not None
+
+    def test_gc_all(self, store, micro, machine_8way):
+        store.get_or_build(micro.program, machine_8way, unit_size=25)
+        store.gc(remove_all=True)
+        assert list(store.directory.glob("*.ckpt")) == []
+
+    def test_disabled_store_is_inert(self, tmp_path, micro, machine_8way):
+        disabled = CheckpointStore(tmp_path / "never", enabled=False)
+        built = build_checkpoints(micro.program, machine_8way, unit_size=25)
+        disabled.put(built, micro.program, machine_8way)
+        assert not (tmp_path / "never").exists()
+        assert disabled.get(micro.program, machine_8way, 25) is None
