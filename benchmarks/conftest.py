@@ -13,7 +13,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.harness.experiments import default_context
+from repro.api import default_context
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 

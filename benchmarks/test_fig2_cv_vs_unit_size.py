@@ -14,12 +14,13 @@ end for most of the suite, and the suite spans a wide range of CV values
 import numpy as np
 from conftest import record_report
 
-from repro.harness.experiments import figure2_cv_curves
+from repro.api import run_study
 
 
 def test_figure2_cv_versus_unit_size(benchmark, ctx):
     data = benchmark.pedantic(
-        lambda: figure2_cv_curves(ctx, machine_name="8-way"),
+        lambda: run_study("fig2", ctx,
+                          params={"machine_name": "8-way"}).data,
         rounds=1, iterations=1)
     record_report("fig2_cv_vs_unit_size", data["report"])
 

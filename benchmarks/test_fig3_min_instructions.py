@@ -14,12 +14,12 @@ same quadratic law, softened only by the finite-population correction.
 from conftest import record_report
 
 from repro.harness.cv_analysis import ConfidenceTarget
-from repro.harness.experiments import figure3_minimum_instructions
+from repro.api import run_study
 
 
 def test_figure3_minimum_measured_instructions(benchmark, ctx):
     data = benchmark.pedantic(
-        lambda: figure3_minimum_instructions(ctx), rounds=1, iterations=1)
+        lambda: run_study("fig3", ctx).data, rounds=1, iterations=1)
     record_report("fig3_min_instructions", data["report"])
 
     targets = data["targets"]

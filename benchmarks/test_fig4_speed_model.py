@@ -10,12 +10,12 @@ bounded to a few thousand instructions.
 from conftest import record_report
 
 from repro.core.perf_model import PAPER_SFW
-from repro.harness.experiments import figure4_speed_model
+from repro.api import run_study
 
 
 def test_figure4_modeled_simulation_rate(benchmark, ctx):
     data = benchmark.pedantic(
-        lambda: figure4_speed_model(ctx), rounds=1, iterations=1)
+        lambda: run_study("fig4", ctx).data, rounds=1, iterations=1)
     record_report("fig4_speed_model", data["report"])
 
     curves = data["curves"]

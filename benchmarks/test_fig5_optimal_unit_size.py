@@ -10,12 +10,12 @@ per-benchmark optimum.
 
 from conftest import record_report
 
-from repro.harness.experiments import figure5_optimal_unit_size
+from repro.api import run_study
 
 
 def test_figure5_optimal_unit_size(benchmark, ctx):
     data = benchmark.pedantic(
-        lambda: figure5_optimal_unit_size(ctx), rounds=1, iterations=1)
+        lambda: run_study("fig5", ctx).data, rounds=1, iterations=1)
     record_report("fig5_optimal_unit_size", data["report"])
 
     optima = data["optima"]

@@ -12,12 +12,12 @@ average error is well under 1%.
 import numpy as np
 from conftest import record_report
 
-from repro.harness.experiments import figure6_cpi_estimates
+from repro.api import run_study
 
 
 def test_figure6_cpi_estimation(benchmark, ctx):
     data = benchmark.pedantic(
-        lambda: figure6_cpi_estimates(ctx), rounds=1, iterations=1)
+        lambda: run_study("fig6", ctx).data, rounds=1, iterations=1)
     record_report("fig6_cpi_estimation", data["report"])
 
     entries = data["entries"]

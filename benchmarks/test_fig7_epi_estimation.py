@@ -9,12 +9,12 @@ bias (gap, 2.2%), inside the confidence interval.
 import numpy as np
 from conftest import record_report
 
-from repro.harness.experiments import figure6_cpi_estimates, figure7_epi_estimates
+from repro.api import run_study
 
 
 def test_figure7_epi_estimation(benchmark, ctx):
     data = benchmark.pedantic(
-        lambda: figure7_epi_estimates(ctx), rounds=1, iterations=1)
+        lambda: run_study("fig7", ctx).data, rounds=1, iterations=1)
     record_report("fig7_epi_estimation", data["report"])
 
     entries = data["entries"]
@@ -33,7 +33,8 @@ def test_figure7_epi_estimation(benchmark, ctx):
     # sizes, the initial-run EPI confidence interval should typically be
     # tighter than the CPI one (compare against the cached Figure 6 data
     # for the 8-way machine).
-    cpi_data = figure6_cpi_estimates(ctx, machine_names=("8-way",))
+    cpi_data = run_study("fig6", ctx,
+                         params={"machine_names": ("8-way",)}).data
     tighter = 0
     for name in ctx.suite_names:
         epi_ci = entries[("8-way", name)]["initial_ci"]

@@ -14,12 +14,12 @@ every SMARTS estimate carries a confidence interval.
 import numpy as np
 from conftest import record_report
 
-from repro.harness.experiments import figure8_simpoint_comparison
+from repro.api import run_study
 
 
 def test_figure8_smarts_vs_simpoint(benchmark, ctx):
     data = benchmark.pedantic(
-        lambda: figure8_simpoint_comparison(ctx), rounds=1, iterations=1)
+        lambda: run_study("fig8", ctx).data, rounds=1, iterations=1)
     record_report("fig8_simpoint_comparison", data["report"])
 
     entries = data["entries"]

@@ -9,13 +9,13 @@ configurations preserve every ratio (see DESIGN.md).
 from conftest import record_report
 
 from repro.config import table3_16way, table3_8way
-from repro.harness.experiments import table3_configurations
+from repro.api import run_study
 from repro.isa.opcodes import OpClass
 
 
 def test_table3_machine_configurations(benchmark, ctx):
     data = benchmark.pedantic(
-        lambda: table3_configurations(ctx), rounds=1, iterations=1)
+        lambda: run_study("table3", ctx).data, rounds=1, iterations=1)
     record_report("table3_configs", data["report"])
 
     rows = dict((row[0], (row[1], row[2])) for row in data["rows"])

@@ -10,12 +10,12 @@ for functional warming.
 
 from conftest import record_report
 
-from repro.harness.experiments import table4_detailed_warming
+from repro.api import run_study
 
 
 def test_table4_detailed_warming_requirements(benchmark, ctx):
     data = benchmark.pedantic(
-        lambda: table4_detailed_warming(ctx), rounds=1, iterations=1)
+        lambda: run_study("table4", ctx).data, rounds=1, iterations=1)
     record_report("table4_detailed_warming", data["report"])
 
     requirements = data["requirements"]

@@ -10,12 +10,12 @@ that functional warming makes tiny sampling units unbiased.
 import numpy as np
 from conftest import record_report
 
-from repro.harness.experiments import table5_functional_warming_bias
+from repro.api import run_study
 
 
 def test_table5_functional_warming_bias(benchmark, ctx):
     data = benchmark.pedantic(
-        lambda: table5_functional_warming_bias(ctx), rounds=1, iterations=1)
+        lambda: run_study("table5", ctx).data, rounds=1, iterations=1)
     record_report("table5_functional_warming_bias", data["report"])
 
     biases = data["biases"]

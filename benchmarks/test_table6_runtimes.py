@@ -15,12 +15,12 @@ magnitude of the paper's speedups.
 
 from conftest import record_report
 
-from repro.harness.experiments import table6_runtimes
+from repro.api import run_study
 
 
 def test_table6_runtimes_and_speedups(benchmark, ctx):
     data = benchmark.pedantic(
-        lambda: table6_runtimes(ctx), rounds=1, iterations=1)
+        lambda: run_study("table6", ctx).data, rounds=1, iterations=1)
     record_report("table6_runtimes", data["report"])
 
     details = data["details"]

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Custom study: define a new experiment declaratively and run it.
+
+Every table and figure of the paper is a registered
+:class:`repro.api.Study` (see ``repro-smarts study ls``), and the same
+machinery is open to new experiments: a study is just a *grid* of
+RunSpecs plus an *analysis* over the executed ResultSet.  Registering
+one gives it parallel batch execution, on-disk result caching,
+checkpointed warming, tidy-row export, and the ``repro-smarts study``
+CLI for free — no bespoke harness function needed.
+
+This example sweeps the confidence-target epsilon for two benchmarks
+and reports how the sampling cost (tuned sample size, measured
+instructions) scales as the target tightens — the practical "how much
+does precision cost?" question an architect asks before a sweep.
+
+Run:  python examples/custom_study.py
+"""
+
+from repro.api import (
+    ResultSet,
+    RunSpec,
+    Session,
+    Study,
+    StudyContext,
+    SystematicStrategy,
+    register_study,
+)
+
+BENCHMARKS = ["gcc.syn", "mcf.syn"]
+EPSILONS = [0.20, 0.10, 0.05]
+SCALE = 0.2
+
+
+def precision_grid(ctx: StudyContext, epsilons=tuple(EPSILONS)) -> list:
+    strategy = SystematicStrategy(unit_size=50, n_init=150, max_rounds=2)
+    return [RunSpec(benchmark=name, strategy=strategy, scale=SCALE,
+                    epsilon=epsilon)
+            for name in BENCHMARKS
+            for epsilon in epsilons]
+
+
+def precision_analyze(ctx: StudyContext, results: ResultSet,
+                      epsilons=tuple(EPSILONS)) -> dict:
+    rows = []
+    for result in results.sorted_by("benchmark", "epsilon"):
+        rows.append([
+            result.spec.benchmark,
+            f"±{result.spec.epsilon:.0%}",
+            result.sample_size,
+            f"{result.instructions_measured:,}",
+            f"±{result.confidence_interval:.2%}",
+            "yes" if result.target_met else "no",
+        ])
+    # ResultSet aggregation: total measurement budget per benchmark.
+    budget = results.groupby("benchmark").aggregate(
+        measured=("instructions_measured", "sum"),
+        runs=("estimate", "count"))
+    from repro.api import format_table
+
+    report = format_table(
+        ["benchmark", "target", "n final", "measured instr.",
+         "achieved CI", "met"],
+        rows,
+        title="Precision cost: sample size vs confidence target")
+    return {"budget": budget, "report": report}
+
+
+STUDY = register_study(Study(
+    name="precision-cost",
+    title="Sampling cost vs confidence target",
+    grid=precision_grid,
+    analyze=precision_analyze,
+))
+
+
+def main() -> None:
+    session = Session()
+    report = session.run_study(STUDY)
+    print(report.report)
+    print("\nMeasurement budget per benchmark:")
+    for row in report.data["budget"]:
+        print(f"  {row['benchmark']}: {row['measured']:,} instructions "
+              f"across {row['runs']} runs")
+    # Tidy rows of the executed grid, ready for a spreadsheet.
+    print("\nTidy rows (CSV):")
+    print(report.results.to_csv())
+
+
+if __name__ == "__main__":
+    main()

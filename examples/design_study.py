@@ -15,7 +15,7 @@ Run:  python examples/design_study.py [--workers N]
 
 import argparse
 
-from repro.api import RunSpec, Session, SystematicStrategy, format_table
+from repro.api import ResultSet, RunSpec, Session, SystematicStrategy, format_table
 
 BENCHMARKS = ["gzip.syn", "gcc.syn", "mcf.syn", "mesa.syn", "swim.syn"]
 MACHINES = ["8-way", "16-way"]
@@ -36,18 +36,13 @@ def main() -> None:
         for name in BENCHMARKS
         for machine in MACHINES
     ]
-    results = {(r.spec.benchmark, r.spec.machine): r
-               for r in session.run_batch(specs)}
+    resultset = ResultSet(session.run_batch(specs))
+    results = resultset.by_cell()
 
     rows = []
-    total_measured = 0
-    total_length = 0
     for name in BENCHMARKS:
-        eight = results[(name, "8-way")]
-        sixteen = results[(name, "16-way")]
-        for result in (eight, sixteen):
-            total_measured += result.instructions_measured
-            total_length += result.benchmark_length
+        eight = results[("8-way", name)]
+        sixteen = results[("16-way", name)]
         rows.append([
             name,
             f"{eight.estimate_mean:.3f} ±{eight.confidence_interval:.1%}",
@@ -61,10 +56,13 @@ def main() -> None:
          "16-way speedup"],
         rows,
         title="Design study: 8-way baseline vs 16-way aggressive"))
-    print(f"\nDetailed measurement budget: {total_measured:,} of "
-          f"{total_length:,} instructions "
-          f"({total_measured / total_length:.2%} of the suite) — the rest "
-          "was functionally warmed or fast-forwarded.")
+    budget = resultset.aggregate(
+        measured=("instructions_measured", "sum"),
+        length=("benchmark_length", "sum"))
+    print(f"\nDetailed measurement budget: {budget['measured']:,} of "
+          f"{budget['length']:,} instructions "
+          f"({budget['measured'] / budget['length']:.2%} of the suite) — "
+          "the rest was functionally warmed or fast-forwarded.")
 
 
 if __name__ == "__main__":

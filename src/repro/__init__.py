@@ -21,8 +21,9 @@ This package provides:
 * ``repro.workloads`` — a synthetic benchmark suite standing in for
   SPEC CPU2000.
 * ``repro.simpoint`` — the SimPoint baseline (BBV clustering).
-* ``repro.harness`` — reference simulations and one experiment entry
-  point per table and figure of the paper's evaluation.
+* ``repro.harness`` — reference simulations and supporting analyses
+  (bias, CV curves, rate measurement); the per-figure entry points are
+  deprecated shims over the registered studies in ``repro.api.studies``.
 
 Quickstart (the unified session layer; see API.md)::
 
@@ -47,15 +48,22 @@ from repro.api import (
     Executor,
     RandomStrategy,
     ResultCache,
+    ResultSet,
     RunResult,
     RunSpec,
     SamplingStrategy,
     Session,
     StratifiedStrategy,
+    Study,
+    StudyContext,
+    StudyReport,
     SystematicStrategy,
     build_checkpoints,
     get_strategy,
+    get_study,
     register_strategy,
+    register_study,
+    run_study,
     strategy_from_dict,
 )
 from repro.config import (
@@ -108,6 +116,7 @@ __all__ = [
     "ProcedureResult",
     "RandomStrategy",
     "ResultCache",
+    "ResultSet",
     "RunResult",
     "RunSpec",
     "SUITE_NAMES",
@@ -118,6 +127,9 @@ __all__ = [
     "SmartsEngine",
     "SmartsRunResult",
     "StratifiedStrategy",
+    "Study",
+    "StudyContext",
+    "StudyReport",
     "SystematicSamplingPlan",
     "SystematicStrategy",
     "build_checkpoints",
@@ -126,14 +138,17 @@ __all__ = [
     "get_benchmark",
     "get_config",
     "get_strategy",
+    "get_study",
     "measure_program_length",
     "micro_benchmark",
     "recommended_warming",
     "register_strategy",
+    "register_study",
     "required_sample_size",
     "run_reference",
     "run_simpoint",
     "run_smarts",
+    "run_study",
     "scaled_16way",
     "scaled_8way",
     "strategy_from_dict",

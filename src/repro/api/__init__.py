@@ -9,10 +9,15 @@ SMARTS reproduction.  It provides:
 * the pluggable sampling strategies (:class:`SystematicStrategy`,
   :class:`RandomStrategy`, :class:`StratifiedStrategy`) and their
   registry,
+* the declarative experiment layer — :class:`Study` /
+  :class:`StudyReport` / :class:`StudyContext`, the study registry
+  (every paper table/figure is a registered study; see
+  :mod:`repro.api.studies`), and the :class:`ResultSet` container with
+  filtering, group-by/aggregate, and tidy-row export,
 * passthroughs for the supporting workflows the CLI and examples need
   (benchmark suite listing, reference simulation, the SimPoint baseline,
-  the per-figure experiments, and table formatting), so downstream code
-  can import *only* from ``repro.api``.
+  and table formatting), so downstream code can import *only* from
+  ``repro.api``.
 
 See API.md at the repository root for a quickstart and migration notes
 from direct ``SmartsEngine`` wiring.
@@ -57,43 +62,59 @@ from repro.api.executor import (
     resolve_machine,
 )
 from repro.api.session import Session, run_spec
+from repro.api.resultset import (
+    AGGREGATORS,
+    GroupedResults,
+    ResultSet,
+    result_row,
+    rows_from_csv,
+    rows_to_csv,
+)
+from repro.api.study import (
+    STUDIES,
+    Study,
+    StudyContext,
+    StudyReport,
+    default_context,
+    get_study,
+    register_study,
+    study_names,
+)
 
-#: Experiment name -> harness entry-point function name.  The single
-#: source of truth for both EXPERIMENT_NAMES and run_experiment (the
-#: harness module itself is imported lazily to avoid a circular import).
-_EXPERIMENT_FUNCTIONS = {
-    "table3": "table3_configurations",
-    "fig2": "figure2_cv_curves",
-    "fig3": "figure3_minimum_instructions",
-    "fig4": "figure4_speed_model",
-    "fig5": "figure5_optimal_unit_size",
-    "table4": "table4_detailed_warming",
-    "table5": "table5_functional_warming_bias",
-    "fig6": "figure6_cpi_estimates",
-    "fig7": "figure7_epi_estimates",
-    "table6": "table6_runtimes",
-    "fig8": "figure8_simpoint_comparison",
-}
+# Importing the definitions module populates the study registry with
+# every paper table/figure (the import is for its registration side
+# effect; the studies are reached through STUDIES / get_study).
+import repro.api.studies  # noqa: E402,F401  (registry population)
+
+#: Pre-study name of StudyContext (the class moved from
+#: repro.harness.experiments; see that module's deprecation notes).
+ExperimentContext = StudyContext
 
 #: Names of the paper's tables/figures runnable via run_experiment().
-EXPERIMENT_NAMES = tuple(_EXPERIMENT_FUNCTIONS)
+EXPERIMENT_NAMES = study_names()
+
+
+def run_study(study, ctx=None, params: dict | None = None) -> "StudyReport":
+    """Run a study through the context's session (module-level shortcut).
+
+    Equivalent to ``ctx.session.run_study(study, ctx=ctx, params=params)``
+    with ``ctx`` defaulting to the process-wide :func:`default_context`
+    — so REPRO_WORKERS / REPRO_CHECKPOINTS and the shared reference
+    caches all apply.
+    """
+    if ctx is None:
+        ctx = default_context()
+    return ctx.session.run_study(study, ctx=ctx, params=params)
 
 
 def run_experiment(name: str, ctx=None) -> dict:
     """Run one of the paper's table/figure experiments by name.
 
     Returns the experiment's data dictionary (rows plus a formatted
-    ``"report"`` string).  ``ctx`` defaults to the process-wide
-    :class:`~repro.harness.experiments.ExperimentContext`.
+    ``"report"`` string) — the payload of :func:`run_study`'s report.
+    ``ctx`` defaults to the process-wide :class:`StudyContext`.
     """
-    from repro.harness import experiments as exp
-
-    try:
-        entry = getattr(exp, _EXPERIMENT_FUNCTIONS[name])
-    except KeyError:
-        raise KeyError(f"unknown experiment {name!r}; "
-                       f"available: {sorted(_EXPERIMENT_FUNCTIONS)}") from None
-    return entry(ctx if ctx is not None else exp.default_context())
+    return run_study(name, ctx=ctx).data
 
 
 #: name -> callable(ctx=None) registry, matching the old cli.EXPERIMENTS.
@@ -103,8 +124,6 @@ EXPERIMENTS = {name: partial(run_experiment, name) for name in EXPERIMENT_NAMES}
 #: repro.api for its suite sweeps, so importing it eagerly here would be
 #: circular.
 _LAZY_EXPORTS = {
-    "ExperimentContext": ("repro.harness.experiments", "ExperimentContext"),
-    "default_context": ("repro.harness.experiments", "default_context"),
     "format_table": ("repro.harness.reporting", "format_table"),
     "run_reference": ("repro.harness.reference", "run_reference"),
     "run_simpoint": ("repro.simpoint.estimator", "run_simpoint"),
@@ -124,6 +143,7 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "AGGREGATORS",
     "CONFIDENCE_95",
     "CONFIDENCE_997",
     "CheckpointSet",
@@ -133,7 +153,9 @@ __all__ = [
     "EXPERIMENT_NAMES",
     "Executor",
     "ExperimentContext",
+    "GroupedResults",
     "MachineConfig",
+    "ResultSet",
     "StaleCheckpointWarning",
     "RandomStrategy",
     "ResultCache",
@@ -141,10 +163,14 @@ __all__ = [
     "RunSpec",
     "SUITE_NAMES",
     "STRATEGIES",
+    "STUDIES",
     "SamplingStrategy",
     "Session",
     "StratifiedStrategy",
     "StrategyOutcome",
+    "Study",
+    "StudyContext",
+    "StudyReport",
     "SystematicStrategy",
     "build_checkpoints",
     "default_checkpoint_dir",
@@ -155,17 +181,24 @@ __all__ = [
     "format_table",
     "get_benchmark",
     "get_strategy",
+    "get_study",
     "recommended_warming",
     "register_strategy",
+    "register_study",
     "resolve_benchmark",
     "resolve_checkpoints",
     "resolve_machine",
+    "result_row",
+    "rows_from_csv",
+    "rows_to_csv",
     "run_experiment",
     "run_reference",
     "run_simpoint",
     "run_spec",
+    "run_study",
     "scaled_16way",
     "scaled_8way",
     "strategy_from_dict",
+    "study_names",
     "suite_specs",
 ]

@@ -1,0 +1,279 @@
+"""ResultSet: a queryable container over executed RunResults.
+
+A :class:`ResultSet` is what a study's grid execution produces: an
+ordered, immutable collection of :class:`~repro.api.spec.RunResult`
+objects with the small set of operations every analysis needs —
+filtering, group-by/aggregate, tidy-row export (JSON/CSV), and table
+rendering.  Nothing here knows about specific experiments; the study
+definitions in :mod:`repro.api.studies` compose these primitives.
+
+Tidy rows are flat ``{column: scalar}`` dictionaries (one per run),
+combining the spec's identifying fields with the result's headline
+numbers, so they feed straight into CSV files, JSON payloads, or
+:func:`~repro.harness.reporting.format_table`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import statistics
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.api.spec import RunResult
+
+#: Named reducers accepted (by name) wherever an aggregation is spec'd.
+#: ``std`` is the population standard deviation (matches ``np.std``).
+AGGREGATORS: dict[str, Callable[[list], object]] = {
+    "mean": statistics.fmean,
+    "median": statistics.median,
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "count": len,
+    "std": statistics.pstdev,
+    "first": lambda vs: vs[0],
+    "last": lambda vs: vs[-1],
+}
+
+
+def result_row(result: RunResult) -> dict:
+    """The tidy (flat, scalar-valued) row for one RunResult."""
+    spec = result.spec
+    return {
+        "benchmark": spec.benchmark,
+        "machine": spec.machine,
+        "strategy": spec.strategy.name,
+        "metric": spec.metric,
+        "scale": spec.scale,
+        "seed": spec.seed,
+        "epsilon": spec.epsilon,
+        "confidence": spec.confidence,
+        "estimate": result.estimate_mean,
+        "cv": result.estimate_cv,
+        "ci": result.confidence_interval,
+        "target_met": result.target_met,
+        "sample_size": result.sample_size,
+        "population_size": result.population_size,
+        "benchmark_length": result.benchmark_length,
+        "rounds": result.rounds,
+        "instructions_measured": result.instructions_measured,
+        "detailed_fraction": result.detailed_fraction,
+        "checkpoint_restores": result.checkpoint_restores,
+        "wall_seconds": result.wall_seconds,
+    }
+
+
+def _resolve_aggregator(func) -> Callable[[list], object]:
+    if callable(func):
+        return func
+    try:
+        return AGGREGATORS[func]
+    except KeyError:
+        raise KeyError(f"unknown aggregator {func!r}; "
+                       f"available: {sorted(AGGREGATORS)}") from None
+
+
+class ResultSet(Sequence):
+    """An ordered collection of RunResults with query/export helpers."""
+
+    def __init__(self, results: Iterable[RunResult] = ()):
+        self._results: list[RunResult] = list(results)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self._results)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ResultSet(self._results[index])
+        return self._results[index]
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self._results)} results)"
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[RunResult], bool] | None = None,
+               **fields) -> "ResultSet":
+        """Results matching a predicate and/or tidy-field equalities.
+
+        Keyword values are compared against the result's tidy row
+        (``benchmark="gcc.syn"``); a callable value is applied to the
+        field instead (``ci=lambda v: v < 0.05``).
+        """
+        kept = []
+        for result in self._results:
+            if predicate is not None and not predicate(result):
+                continue
+            row = result_row(result)
+            if all(value(row[key]) if callable(value) else row[key] == value
+                   for key, value in fields.items()):
+                kept.append(result)
+        return ResultSet(kept)
+
+    def sorted_by(self, *keys: str, reverse: bool = False) -> "ResultSet":
+        """A copy ordered by the given tidy-row columns."""
+        return ResultSet(sorted(
+            self._results,
+            key=lambda r: tuple(result_row(r)[k] for k in keys),
+            reverse=reverse))
+
+    def by_cell(self) -> dict[tuple[str, str], RunResult]:
+        """Index results by the ``(machine, benchmark)`` grid cell.
+
+        Raises :class:`ValueError` when two results share a cell (a grid
+        that varies something else per cell — epsilon, seed, strategy —
+        must be indexed with :meth:`filter`/:meth:`groupby` instead, not
+        silently collapsed).
+        """
+        cells: dict[tuple[str, str], RunResult] = {}
+        for result in self._results:
+            key = (result.spec.machine, result.spec.benchmark)
+            if key in cells:
+                raise ValueError(
+                    f"multiple results for cell {key}; use filter()/"
+                    f"groupby() for grids with several specs per cell")
+            cells[key] = result
+        return cells
+
+    def groupby(self, *keys: str) -> "GroupedResults":
+        """Group by tidy-row columns, preserving first-seen group order."""
+        if not keys:
+            raise ValueError("groupby needs at least one key")
+        groups: dict[tuple, list[RunResult]] = {}
+        for result in self._results:
+            row = result_row(result)
+            groups.setdefault(tuple(row[k] for k in keys), []).append(result)
+        return GroupedResults(keys, {k: ResultSet(v)
+                                     for k, v in groups.items()})
+
+    def values(self, field: str) -> list:
+        """The tidy-row column ``field`` across every result, in order."""
+        return [result_row(r)[field] for r in self._results]
+
+    def aggregate(self, **named) -> dict:
+        """Reduce tidy-row columns over the whole set.
+
+        Each keyword names an output and maps to ``(field, func)`` where
+        ``func`` is an :data:`AGGREGATORS` name or a callable::
+
+            rs.aggregate(mean_ci=("ci", "mean"), worst=("ci", "max"))
+        """
+        out = {}
+        for name, (field, func) in named.items():
+            values = self.values(field)
+            if not values:
+                raise ValueError("cannot aggregate an empty ResultSet")
+            out[name] = _resolve_aggregator(func)(values)
+        return out
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def rows(self) -> list[dict]:
+        """Tidy rows (one flat dict per result)."""
+        return [result_row(r) for r in self._results]
+
+    def to_table(self, columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+        """Render the tidy rows with the repository table formatter."""
+        from repro.harness.reporting import format_table
+
+        rows = self.rows()
+        if columns is None:
+            columns = list(rows[0]) if rows else []
+        return format_table(list(columns),
+                            [[row[c] for c in columns] for row in rows],
+                            title=title)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Full-fidelity JSON (every RunResult payload, in order)."""
+        return json.dumps([r.to_dict() for r in self._results],
+                          indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ResultSet":
+        return cls(RunResult.from_dict(data) for data in json.loads(payload))
+
+    def to_csv(self) -> str:
+        """Tidy rows as CSV text (lossy: headline columns only)."""
+        return rows_to_csv(self.rows())
+
+
+class GroupedResults(Mapping):
+    """The result of :meth:`ResultSet.groupby`: key tuple -> ResultSet."""
+
+    def __init__(self, keys: Sequence[str],
+                 groups: dict[tuple, ResultSet]):
+        self.keys_ = tuple(keys)
+        self._groups = dict(groups)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._groups)
+
+    def __getitem__(self, key) -> ResultSet:
+        if not isinstance(key, tuple):
+            key = (key,)
+        return self._groups[key]
+
+    def aggregate(self, **named) -> list[dict]:
+        """One tidy row per group: the group keys plus the aggregates."""
+        rows = []
+        for key, members in self._groups.items():
+            row = dict(zip(self.keys_, key))
+            row.update(members.aggregate(**named))
+            rows.append(row)
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Tidy-row CSV helpers (shared by ResultSet and StudyReport)
+# ----------------------------------------------------------------------
+def rows_to_csv(rows: Sequence[Mapping]) -> str:
+    """Serialize flat dict rows as CSV (columns in first-seen order)."""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: "" if row.get(k) is None else row.get(k)
+                         for k in columns})
+    return buffer.getvalue()
+
+
+def _parse_cell(text: str):
+    if text == "":
+        return None
+    if text == "True":
+        return True
+    if text == "False":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def rows_from_csv(payload: str) -> list[dict]:
+    """Parse :func:`rows_to_csv` output back into typed flat dicts."""
+    reader = csv.DictReader(io.StringIO(payload))
+    return [{k: _parse_cell(v) for k, v in row.items()} for row in reader]

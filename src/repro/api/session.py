@@ -19,13 +19,16 @@ JSON-serializable and cached on disk by spec hash.
 
 from __future__ import annotations
 
+import inspect
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.core.stats import CONFIDENCE_997
 from repro.api.executor import Executor, ResultCache, execute_spec
+from repro.api.resultset import ResultSet
 from repro.api.spec import RunResult, RunSpec
 from repro.api.strategies import SamplingStrategy, SystematicStrategy
+from repro.api.study import Study, StudyReport, default_context, get_study
 
 
 class Session:
@@ -40,9 +43,14 @@ class Session:
         use_cache: Disable to bypass the *run-result* cache — every run
             is recomputed and no result is read from or written to
             disk.  (The checkpoint store is separate: specs with
-            ``checkpoints="auto"`` still use it; point
-            ``REPRO_CHECKPOINT_DIR`` somewhere writable or keep
-            ``checkpoints="off"`` for fully read-only operation.)
+            ``checkpoints="auto"`` still use it, and stratified runs
+            opportunistically cache their BBV profile there —
+            degrading to in-memory profiling when the store directory
+            is unwritable, and disabled per strategy with
+            ``StratifiedStrategy(profile_cache=False)`` — a
+            process-local flag that does not reach parallel pool
+            workers.  Point ``REPRO_CHECKPOINT_DIR`` elsewhere for
+            isolation that covers every execution mode.)
         checkpoints: Default checkpoint mode (``"off"`` or ``"auto"``)
             applied by :meth:`estimate` when none is given explicitly;
             specs built elsewhere carry their own mode.
@@ -76,6 +84,40 @@ class Session:
         this process.
         """
         return self.executor.run(list(specs), max_workers=max_workers)
+
+    def run_study(self, study: Study | str, ctx=None,
+                  params: dict | None = None,
+                  max_workers: int | None = None) -> StudyReport:
+        """Execute a declarative study: grid through the session, analyze.
+
+        ``study`` is a :class:`~repro.api.study.Study` or a registered
+        name (``"fig6"``).  The study's RunSpec grid — if it has one —
+        executes through :meth:`run_batch` (cache, parallel workers,
+        checkpoints all apply); the study's analysis then turns the
+        :class:`ResultSet` into the experiment payload.  Each entry in
+        ``params`` is forwarded to the grid builder and/or the analysis
+        — whichever of the two accepts it by signature — so grids need
+        not mirror analysis-only parameters; a name neither accepts
+        raises :class:`TypeError` before anything runs.
+        """
+        if isinstance(study, str):
+            study = get_study(study)
+        if ctx is None:
+            ctx = default_context()
+        params = dict(params or {})
+        grid_params = _accepted_params(study.grid, params) if study.grid \
+            else {}
+        analyze_params = _accepted_params(study.analyze, params)
+        unknown = set(params) - set(grid_params) - set(analyze_params)
+        if unknown:
+            raise TypeError(f"study {study.name!r} accepts no parameter(s) "
+                            f"{sorted(unknown)}")
+        specs = list(study.grid(ctx, **grid_params)) if study.grid else []
+        results = ResultSet(self.run_batch(specs, max_workers=max_workers))
+        data = study.analyze(ctx, results, **analyze_params)
+        rows = list(study.tidy(data)) if study.tidy else []
+        return StudyReport(study=study.name, title=study.title,
+                           data=data, rows=rows, results=results)
 
     # ------------------------------------------------------------------
     # Spec builders
@@ -130,6 +172,15 @@ class Session:
             confidence=confidence, benchmark_length=benchmark_length,
             checkpoints=self.checkpoints if checkpoints is None else checkpoints,
         ))
+
+
+def _accepted_params(func, params: dict) -> dict:
+    """The subset of ``params`` that ``func``'s signature accepts."""
+    signature = inspect.signature(func)
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD
+           for p in signature.parameters.values()):
+        return dict(params)
+    return {k: v for k, v in params.items() if k in signature.parameters}
 
 
 def run_spec(spec: RunSpec) -> RunResult:

@@ -88,8 +88,18 @@ class SamplingStrategy(ABC):
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Serializable form: ``{"name": ..., "params": {...}}``."""
-        return {"name": self.name, "params": asdict(self)}
+        """Serializable form: ``{"name": ..., "params": {...}}``.
+
+        Fields marked ``io_only`` in their dataclass metadata are local
+        execution preferences that cannot change estimates; they are
+        excluded here so they never enter spec hashes, cache identity,
+        or worker payloads.
+        """
+        params = asdict(self)
+        for f in fields(self):
+            if f.metadata.get("io_only"):
+                params.pop(f.name, None)
+        return {"name": self.name, "params": params}
 
     @classmethod
     def from_params(cls, params: dict) -> "SamplingStrategy":
@@ -244,20 +254,42 @@ class StratifiedStrategy(SamplingStrategy):
     max_phases: int = 6
     detailed_warming: int | None = None
     functional_warming: bool = True
+    #: Persist the BBV profile in the checkpoint store; disable for
+    #: fully in-memory (no-disk-side-effect) operation.  I/O-only: it
+    #: cannot change estimates, so it is excluded from spec hashes and
+    #: equality — and, being process-local, it is not shipped to pool
+    #: workers (parallel batches use the default).
+    profile_cache: bool = field(default=True, compare=False,
+                                metadata={"io_only": True})
 
     def build_plan(self, program: Program, benchmark_length: int,
-                   machine: MachineConfig, seed: int = 0
-                   ) -> tuple[StratifiedSamplingPlan, dict]:
-        """Profile, cluster, allocate, and select the unit indices."""
-        from repro.simpoint.bbv import profile_bbv, project_vectors
+                   machine: MachineConfig, seed: int = 0,
+                   store=None) -> tuple[StratifiedSamplingPlan, dict]:
+        """Profile, cluster, allocate, and select the unit indices.
+
+        The BBV profile — the only functional pass this strategy needs —
+        is cached in ``store`` (a :class:`repro.checkpoint.CheckpointStore`;
+        default: the shared ``.ckpt_cache`` / ``REPRO_CHECKPOINT_DIR``
+        store) keyed by (program fingerprint, interval size, profiled
+        length), so repeated stratified runs over the same benchmark
+        (any seed, sample size, or machine) profile once.  Profiling is
+        deterministic — a cached profile is bit-identical to a fresh
+        one — and persisting it is opportunistic: set
+        ``profile_cache=False`` on the strategy (or pass a disabled /
+        unwritable store) for pure in-memory operation.
+        """
+        from repro.checkpoint import CheckpointStore
+        from repro.simpoint.bbv import project_vectors
         from repro.simpoint.kmeans import choose_clustering
 
         population = benchmark_length // self.unit_size
         if population <= 0:
             raise ValueError("benchmark shorter than one sampling unit")
         interval_size = self.unit_size * self.units_per_interval
-        profile = profile_bbv(program, interval_size,
-                              max_instructions=benchmark_length)
+        if store is None:
+            store = CheckpointStore(enabled=self.profile_cache)
+        profile = store.get_or_profile(
+            program, interval_size, max_instructions=benchmark_length)
         projected = project_vectors(profile, seed=seed)
         clustering = choose_clustering(projected, max_k=self.max_phases,
                                        seed=seed)

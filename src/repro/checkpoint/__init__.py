@@ -29,6 +29,7 @@ from repro.checkpoint.snapshot import (
     program_fingerprint,
 )
 from repro.checkpoint.store import (
+    BBV_PROFILE_VERSION,
     DEFAULT_STRIDE,
     CheckpointSet,
     CheckpointStore,
@@ -38,6 +39,7 @@ from repro.checkpoint.store import (
 )
 
 __all__ = [
+    "BBV_PROFILE_VERSION",
     "CHECKPOINT_VERSION",
     "CheckpointSet",
     "CheckpointStore",

@@ -52,6 +52,9 @@ DEFAULT_STRIDE = 4
 #: Build-pass instruction budget (matches ``measure_program_length``).
 DEFAULT_BUILD_LIMIT = 200_000_000
 
+#: Format version of cached BBV profiles (bump on BBVProfile changes).
+BBV_PROFILE_VERSION = 1
+
 
 class StaleCheckpointWarning(UserWarning):
     """Checkpoints exist for this program/unit but a different machine
@@ -333,6 +336,82 @@ class CheckpointStore:
         return ckpt
 
     # ------------------------------------------------------------------
+    # BBV profiles (the stratified strategy's phase-labeling pass)
+    # ------------------------------------------------------------------
+    def bbv_path_for(self, program: Program, interval_size: int,
+                     limit: int | None = None) -> Path:
+        tag = "full" if limit is None else str(limit)
+        return self.directory / (
+            f"{self._slug(program.name)}--{program_fingerprint(program)}"
+            f"--bbv-i{interval_size}-l{tag}--v{BBV_PROFILE_VERSION}.bbvp")
+
+    def get_bbv_profile(self, program: Program, interval_size: int,
+                        limit: int | None = None):
+        """Load a cached BBV profile, or None on miss/mismatch."""
+        if not self.enabled:
+            return None
+        path = self.bbv_path_for(program, interval_size, limit)
+        try:
+            payload = pickle.loads(zlib.decompress(path.read_bytes()))
+        except Exception:
+            return None  # missing, corrupt, or unreadable: a miss
+        meta = payload.get("meta", {})
+        if (meta.get("version") != BBV_PROFILE_VERSION
+                or meta.get("program_hash") != program_fingerprint(program)
+                or meta.get("interval_size") != interval_size
+                or meta.get("limit") != limit):
+            return None
+        return payload["profile"]
+
+    def put_bbv_profile(self, profile, program: Program,
+                        limit: int | None = None) -> Path:
+        path = self.bbv_path_for(program, profile.interval_size, limit)
+        if not self.enabled:
+            return path
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "meta": {
+                "benchmark": program.name,
+                "program_hash": program_fingerprint(program),
+                "interval_size": profile.interval_size,
+                "limit": limit,
+                "version": BBV_PROFILE_VERSION,
+            },
+            "profile": profile,
+        }
+        blob = zlib.compress(pickle.dumps(payload, protocol=4), 6)
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_bytes(blob)
+        tmp.replace(path)
+        return path
+
+    def get_or_profile(self, program: Program, interval_size: int,
+                       max_instructions: int | None = None):
+        """Load-else-profile the BBVs of ``program`` (load is exact).
+
+        This is the stratified strategy's phase-labeling pass: profiling
+        is deterministic, so a cached profile is bit-identical to a
+        fresh one and caching it here removes the last redundant
+        functional pass from repeated stratified runs (clustering —
+        cheap and seed-dependent — still runs per spec).
+        """
+        profile = self.get_bbv_profile(program, interval_size,
+                                       limit=max_instructions)
+        if profile is None:
+            from repro.simpoint.bbv import profile_bbv
+
+            profile = profile_bbv(program, interval_size,
+                                  max_instructions=max_instructions)
+            try:
+                self.put_bbv_profile(profile, program, limit=max_instructions)
+            except OSError:
+                # Profile caching is an optimization: an unwritable store
+                # (read-only checkout, container without REPRO_CHECKPOINT_DIR)
+                # must not break a run that previously worked in memory.
+                pass
+        return profile
+
+    # ------------------------------------------------------------------
     # Maintenance (checkpoint ls / gc)
     # ------------------------------------------------------------------
     def entries(self) -> list[dict]:
@@ -348,14 +427,35 @@ class CheckpointStore:
             rows.append(row)
         return rows
 
+    def bbv_entries(self) -> list[dict]:
+        """Metadata of every readable current-version BBV profile.
+
+        Mirrors :meth:`entries`: unreadable, corrupt, or other-version
+        files are skipped (``gc`` removes them), never raised on.
+        """
+        rows = []
+        for path in sorted(self.directory.glob("*.bbvp")):
+            try:
+                payload = pickle.loads(zlib.decompress(path.read_bytes()))
+                meta = dict(payload["meta"])
+                if meta.get("version") != BBV_PROFILE_VERSION:
+                    continue
+                meta["intervals"] = payload["profile"].num_intervals
+                meta["file"] = path.name
+                meta["size_bytes"] = path.stat().st_size
+            except Exception:
+                continue
+            rows.append(meta)
+        return rows
+
     def gc(self, max_age_days: float | None = None,
            remove_all: bool = False) -> list[Path]:
         """Delete stale checkpoint files; returns the removed paths.
 
-        Always removes leftover ``*.tmp`` files and sets written by a
-        different format version; ``max_age_days`` additionally removes
-        sets not touched within that window, and ``remove_all`` empties
-        the store.
+        Always removes leftover ``*.tmp`` files and sets/profiles
+        written by a different format version; ``max_age_days``
+        additionally removes entries not touched within that window,
+        and ``remove_all`` empties the store (BBV profiles included).
         """
         import time
 
@@ -366,12 +466,14 @@ class CheckpointStore:
         for path in sorted(self.directory.glob("*.tmp")):
             path.unlink(missing_ok=True)
             removed.append(path)
-        current_suffix = f"--v{CHECKPOINT_VERSION}.ckpt"
-        for path in sorted(self.directory.glob("*.ckpt")):
-            stale_version = not path.name.endswith(current_suffix)
-            too_old = (max_age_days is not None and
-                       now - path.stat().st_mtime > max_age_days * 86400)
-            if remove_all or stale_version or too_old:
-                path.unlink(missing_ok=True)
-                removed.append(path)
+        current = {".ckpt": f"--v{CHECKPOINT_VERSION}.ckpt",
+                   ".bbvp": f"--v{BBV_PROFILE_VERSION}.bbvp"}
+        for suffix, current_suffix in current.items():
+            for path in sorted(self.directory.glob(f"*{suffix}")):
+                stale_version = not path.name.endswith(current_suffix)
+                too_old = (max_age_days is not None and
+                           now - path.stat().st_mtime > max_age_days * 86400)
+                if remove_all or stale_version or too_old:
+                    path.unlink(missing_ok=True)
+                    removed.append(path)
         return removed

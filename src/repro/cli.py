@@ -13,10 +13,16 @@ Python:
 * ``repro-smarts reference gcc.syn`` — run the full-stream detailed
   simulation and report CPI, EPI, and miss rates.
 * ``repro-smarts simpoint gcc.syn`` — run the SimPoint baseline.
+* ``repro-smarts study run|ls|report`` — the declarative experiment
+  layer: list the registered studies, execute one through
+  ``Session.run_study`` (parallel batches, result caching, checkpoints
+  all apply), and export its tidy rows as CSV/JSON.
 * ``repro-smarts experiment fig6`` — regenerate one of the paper's
-  tables/figures and print its report.
+  tables/figures and print its report (same registry as ``study run``).
 * ``repro-smarts checkpoint build|ls|gc`` — manage the warm-state
-  checkpoint store that ``--checkpoints`` runs restore from.
+  checkpoint store that ``--checkpoints`` runs restore from;
+  ``build --benchmarks all --machines 8-way,16-way`` batch-builds the
+  whole suite for warm-up.
 
 Every command accepts ``--machine {8-way,16-way}`` (the scaled Table 3
 configurations) and ``--scale`` to control benchmark length.
@@ -38,26 +44,47 @@ from repro.api import (
     DEFAULT_STRIDE,
     EXPERIMENTS,
     STRATEGIES,
+    STUDIES,
     CheckpointStore,
     RunSpec,
     Session,
     SystematicStrategy,
     SUITE_NAMES,
+    default_context,
     format_table,
     resolve_benchmark,
     resolve_machine,
     run_reference,
     run_simpoint,
+    run_study,
     get_benchmark,
     suite_specs,
 )
 
 
+#: Machine configurations the CLI accepts (the scaled Table 3 pair).
+MACHINE_NAMES = ("8-way", "16-way")
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--machine", choices=["8-way", "16-way"],
+    parser.add_argument("--machine", choices=list(MACHINE_NAMES),
                         default="8-way", help="machine configuration")
     parser.add_argument("--scale", type=float, default=0.25,
                         help="benchmark length scale factor")
+
+
+def _split_names(raw: str) -> list[str]:
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def _reject_unknown(names: list[str], known: Sequence[str],
+                    kind: str) -> bool:
+    """True (and an error on stderr) when ``names`` has unknown entries."""
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        print(f"error: unknown {kind}(s) {', '.join(unknown)}; "
+              f"available: {', '.join(known)}", file=sys.stderr)
+    return bool(unknown)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -136,6 +163,33 @@ def build_parser() -> argparse.ArgumentParser:
     simpoint.add_argument("--interval-size", type=int, default=2500)
     simpoint.add_argument("--max-clusters", type=int, default=8)
 
+    study = sub.add_parser(
+        "study", help="run and inspect the declarative study registry")
+    study_sub = study.add_subparsers(dest="study_command", required=True)
+    study_run = study_sub.add_parser(
+        "run", help="execute a registered study and print its report")
+    study_run.add_argument("name", choices=sorted(STUDIES))
+    study_run.add_argument("--json", action="store_true",
+                           help="emit {study, title, rows, data} as JSON "
+                                "(without the text report)")
+    study_run.add_argument("--checkpoints", action="store_true",
+                           help="run the study's estimation grid with "
+                                "checkpointed functional warming")
+    study_ls = study_sub.add_parser(
+        "ls", help="list the registered studies")
+    study_ls.add_argument("--json", action="store_true",
+                          help="emit the study metadata as JSON")
+    study_report = study_sub.add_parser(
+        "report", help="execute a study and emit its tidy rows")
+    study_report.add_argument("name", choices=sorted(STUDIES))
+    study_report.add_argument("--format", choices=["csv", "json"],
+                              default="csv", help="tidy-row output format")
+    study_report.add_argument("--output", default=None,
+                              help="write rows to this file instead of stdout")
+    study_report.add_argument("--checkpoints", action="store_true",
+                              help="run the study's estimation grid with "
+                                   "checkpointed functional warming")
+
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -151,9 +205,17 @@ def build_parser() -> argparse.ArgumentParser:
     ckpt_sub = checkpoint.add_subparsers(dest="checkpoint_command",
                                          required=True)
     build = ckpt_sub.add_parser(
-        "build", help="build (or refresh) the checkpoint set for a benchmark")
-    build.add_argument("benchmark", choices=[*SUITE_NAMES, "micro.syn"])
+        "build", help="build (or refresh) checkpoint sets; one benchmark "
+                      "positionally, or a batch via --benchmarks/--machines")
+    build.add_argument("benchmark", nargs="?", default=None,
+                       choices=[*SUITE_NAMES, "micro.syn"])
     _add_common(build)
+    build.add_argument("--benchmarks", default=None,
+                       help="comma-separated benchmark names, or 'all' for "
+                            "the whole suite (batch build)")
+    build.add_argument("--machines", default=None,
+                       help="comma-separated machine names (default: "
+                            "--machine)")
     build.add_argument("--unit-size", type=int, default=50,
                        help="sampling unit size U the set is keyed by")
     build.add_argument("--stride", type=int, default=None,
@@ -285,18 +347,12 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    benchmarks = ([name.strip() for name in args.benchmarks.split(",") if name.strip()]
-                  if args.benchmarks else list(SUITE_NAMES))
-    unknown = [name for name in benchmarks if name not in SUITE_NAMES]
-    if unknown:
-        print(f"error: unknown benchmark(s) {', '.join(unknown)}; "
-              f"available: {', '.join(SUITE_NAMES)}", file=sys.stderr)
+    benchmarks = (_split_names(args.benchmarks) if args.benchmarks
+                  else list(SUITE_NAMES))
+    if _reject_unknown(benchmarks, SUITE_NAMES, "benchmark"):
         return 2
-    machines = [name.strip() for name in args.machines.split(",") if name.strip()]
-    unknown = [name for name in machines if name not in ("8-way", "16-way")]
-    if unknown:
-        print(f"error: unknown machine(s) {', '.join(unknown)}; "
-              f"available: 8-way, 16-way", file=sys.stderr)
+    machines = _split_names(args.machines)
+    if _reject_unknown(machines, MACHINE_NAMES, "machine"):
         return 2
     strategy = STRATEGIES[args.strategy]()
     session = Session(use_cache=not args.no_cache)
@@ -367,26 +423,14 @@ def _cmd_simpoint(args: argparse.Namespace) -> int:
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
     store = CheckpointStore()
     if args.checkpoint_command == "build":
-        program = resolve_benchmark(args.benchmark, args.scale)
-        machine = resolve_machine(args.machine)
-        kwargs = {} if args.stride is None else {"stride": args.stride}
-        ckpt = store.get_or_build(program, machine, args.unit_size, **kwargs)
-        path = store.path_for(program, machine, args.unit_size)
-        print(f"benchmark       : {args.benchmark} "
-              f"({ckpt.benchmark_length:,} instructions)")
-        print(f"machine         : {machine.name} (warm geometry "
-              f"{ckpt.machine_hash})")
-        print(f"unit size       : {ckpt.unit_size}")
-        print(f"snapshots       : {len(ckpt.snapshots)} "
-              f"(every {ckpt.stride * ckpt.unit_size:,} instructions)")
-        print(f"file            : {path} "
-              f"({path.stat().st_size / 1024:.0f} KiB)")
-        return 0
+        return _cmd_checkpoint_build(args, store)
     if args.checkpoint_command == "ls":
         rows = store.entries()
+        profiles = store.bbv_entries()
         if args.json:
             print(json.dumps({"directory": str(store.directory),
-                              "sets": rows}, indent=2, sort_keys=True))
+                              "sets": rows, "bbv_profiles": profiles},
+                             indent=2, sort_keys=True))
             return 0
         table_rows = [[r["benchmark"], r["machine"], r["unit_size"],
                        r["stride"], r["snapshots"],
@@ -399,6 +443,15 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
             table_rows,
             title=f"Checkpoint store: {store.directory} "
                   f"({len(rows)} sets)"))
+        if profiles:
+            print()
+            print(format_table(
+                ["benchmark", "interval", "limit", "intervals", "size"],
+                [[p["benchmark"], p["interval_size"],
+                  p["limit"] if p["limit"] is not None else "full",
+                  p["intervals"], f"{p['size_bytes'] / 1024:.0f} KiB"]
+                 for p in profiles],
+                title=f"BBV profiles ({len(profiles)})"))
         return 0
     # gc
     removed = store.gc(max_age_days=args.max_age_days, remove_all=args.all)
@@ -408,21 +461,133 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
-    if args.checkpoints:
-        from repro.api import default_context
-
-        # default_context() is process-cached; restore the prior mode so
-        # the flag never leaks into later runs in the same process.
-        ctx = default_context()
-        previous = ctx.checkpoints
-        ctx.checkpoints = "auto"
-        try:
-            data = EXPERIMENTS[args.name](ctx)
-        finally:
-            ctx.checkpoints = previous
+def _cmd_checkpoint_build(args: argparse.Namespace,
+                          store: CheckpointStore) -> int:
+    if args.benchmarks:
+        if args.benchmark is not None:
+            print("error: give a positional benchmark or --benchmarks, "
+                  "not both", file=sys.stderr)
+            return 2
+        if args.benchmarks.strip() == "all":
+            benchmarks = list(SUITE_NAMES)
+        else:
+            benchmarks = _split_names(args.benchmarks)
+        if _reject_unknown(benchmarks, (*SUITE_NAMES, "micro.syn"),
+                           "benchmark"):
+            return 2
+    elif args.benchmark is not None:
+        benchmarks = [args.benchmark]
     else:
-        data = EXPERIMENTS[args.name]()
+        print("error: a benchmark (positional) or --benchmarks is required",
+              file=sys.stderr)
+        return 2
+    machines = (_split_names(args.machines) if args.machines
+                else [args.machine])
+    if _reject_unknown(machines, MACHINE_NAMES, "machine"):
+        return 2
+
+    kwargs = {} if args.stride is None else {"stride": args.stride}
+    single = len(benchmarks) == 1 and len(machines) == 1
+    rows = []
+    for benchmark_name in benchmarks:
+        program = resolve_benchmark(benchmark_name, args.scale)
+        for machine_name in machines:
+            machine = resolve_machine(machine_name)
+            ckpt = store.get_or_build(program, machine, args.unit_size,
+                                      **kwargs)
+            path = store.path_for(program, machine, args.unit_size)
+            if single:
+                print(f"benchmark       : {benchmark_name} "
+                      f"({ckpt.benchmark_length:,} instructions)")
+                print(f"machine         : {machine.name} (warm geometry "
+                      f"{ckpt.machine_hash})")
+                print(f"unit size       : {ckpt.unit_size}")
+                print(f"snapshots       : {len(ckpt.snapshots)} "
+                      f"(every {ckpt.stride * ckpt.unit_size:,} instructions)")
+                print(f"file            : {path} "
+                      f"({path.stat().st_size / 1024:.0f} KiB)")
+                return 0
+            rows.append([
+                benchmark_name, machine_name, ckpt.unit_size,
+                len(ckpt.snapshots), f"{ckpt.benchmark_length:,}",
+                f"{path.stat().st_size / 1024:.0f} KiB",
+            ])
+    print(format_table(
+        ["benchmark", "machine", "U", "snapshots", "length", "size"],
+        rows,
+        title=f"Checkpoint batch build: {len(rows)} sets under "
+              f"{store.directory}"))
+    return 0
+
+
+def _study_context(checkpoints: bool):
+    """The process-wide context, with checkpoint mode applied on request.
+
+    Returns ``(ctx, restore)``: ``restore()`` puts the prior mode back —
+    ``default_context()`` is process-cached, so the flag must never leak
+    into later runs in the same process.
+    """
+    ctx = default_context()
+    previous = ctx.checkpoints
+    if checkpoints:
+        ctx.checkpoints = "auto"
+
+    def restore() -> None:
+        ctx.checkpoints = previous
+
+    return ctx, restore
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    if args.study_command == "ls":
+        rows = [study.describe() for study in STUDIES.values()]
+        if args.json:
+            print(json.dumps({"studies": rows}, indent=2, sort_keys=True))
+            return 0
+        print(format_table(
+            ["name", "title", "grid", "legacy shim"],
+            [[r["name"], r["title"], "yes" if r["has_grid"] else "-",
+              r["legacy"]] for r in rows],
+            title=f"Registered studies ({len(rows)})"))
+        return 0
+
+    ctx, restore = _study_context(args.checkpoints)
+    try:
+        report = run_study(args.name, ctx)
+    finally:
+        restore()
+
+    if args.study_command == "run":
+        if args.json:
+            print(json.dumps({"study": report.study, "title": report.title,
+                              "rows": _to_jsonable(report.rows),
+                              "data": {k: _to_jsonable(v)
+                                       for k, v in report.data.items()
+                                       if k != "report"}},
+                             indent=2, sort_keys=True))
+            return 0
+        print(report.report)
+        return 0
+
+    # report: tidy rows as CSV/JSON, to stdout or a file.
+    text = (report.rows_csv() if args.format == "csv"
+            else report.rows_json() + "\n")
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {len(report.rows)} rows to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ctx, restore = _study_context(args.checkpoints)
+    try:
+        data = EXPERIMENTS[args.name](ctx)
+    finally:
+        restore()
     if args.json:
         payload = {key: _to_jsonable(value)
                    for key, value in data.items() if key != "report"}
@@ -450,6 +615,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_simpoint(args)
         if args.command == "checkpoint":
             return _cmd_checkpoint(args)
+        if args.command == "study":
+            return _cmd_study(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
     except BrokenPipeError:

@@ -1,4 +1,9 @@
-"""Experiment harness: reference runs, analyses, and per-figure experiments."""
+"""Experiment harness: reference runs and supporting analyses.
+
+The per-figure entry points re-exported here are deprecated shims over
+the registered studies in :mod:`repro.api.studies`; new code should use
+``Session.run_study`` (see API.md, "Studies").
+"""
 
 from repro.harness.bias import (
     BiasMeasurement,

@@ -1,785 +1,135 @@
-"""Experiment harness: one entry point per paper table / figure.
+"""Deprecated per-figure entry points: thin shims over `repro.api` studies.
 
-Every experiment of the paper's evaluation (Tables 3-6, Figures 2-8) has
-a function here that produces both structured rows (for assertions in
-``benchmarks/`` and reuse in ``examples/``) and a formatted text table.
-The benchmark modules under ``benchmarks/`` are thin wrappers that call
-these functions, print the report, and assert the qualitative shape the
-paper reports (see DESIGN.md, "Shape expectations").
+Every experiment of the paper's evaluation (Tables 3-6, Figures 2-8) is
+now a registered :class:`~repro.api.study.Study` executed through
+:meth:`repro.api.Session.run_study` (see :mod:`repro.api.studies` for
+the definitions and ``API.md`` for the study layer).  The functions in
+this module keep the pre-study call shapes working — same signatures,
+same returned data dictionaries, byte-identical reports — by delegating
+to the registry through the context's session.  New code should call
+``Session.run_study("fig6")`` (or the ``repro-smarts study`` CLI)
+directly.
 
-Scaling: the experiments run the synthetic suite at a configurable scale
-(``REPRO_SCALE``, default 0.6) and with sampling parameters scaled from
-the paper's canonical values in the same proportion as the benchmark
-lengths (see EXPERIMENTS.md).  ``REPRO_SUITE`` selects a benchmark
-subset, and ``REPRO_FAST=1`` shrinks the most expensive sweeps.
-
-Suite-wide estimation sweeps (Figures 6/7/8) go through the
-:mod:`repro.api` session layer: each (machine, benchmark) cell becomes a
-:class:`~repro.api.spec.RunSpec`, executed — optionally in parallel,
-``REPRO_WORKERS=N`` — with on-disk result caching by spec hash.
+``ExperimentContext`` is an alias of :class:`repro.api.study.StudyContext`
+(the class simply moved); ``default_context`` is the same process-wide
+cached instance the study layer uses.
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass, field
-from functools import lru_cache
+from repro.api.study import StudyContext as ExperimentContext
+from repro.api.study import default_context
 
-import numpy as np
-
-from repro.config.machines import MachineConfig, scaled_16way, scaled_8way
-from repro.core.estimates import ReferenceResult
-from repro.core.perf_model import (
-    PAPER_SD_FUTURE,
-    PAPER_SD_TODAY,
-    SamplingWorkload,
-    SimulatorRates,
-    detailed_runtime_seconds,
-    functional_runtime_seconds,
-    paper_rate,
-    runtime_seconds,
-    speedup_over_detailed,
-)
-from repro.core.procedure import recommended_warming
-from repro.core.stats import CONFIDENCE_997, required_sample_size
-from repro.harness.bias import measure_bias, required_detailed_warming
-from repro.harness.cv_analysis import (
-    FIGURE3_TARGETS,
-    cv_versus_unit_size,
-    default_unit_sizes,
-    minimum_measured_instructions,
-)
-from repro.harness.reference import run_reference
-from repro.harness.reporting import format_table, percent, unsigned_percent
-from repro.harness.runtime import MeasuredRates, measure_rates
-from repro.simpoint.estimator import run_simpoint
-from repro.workloads.suite import SUITE_NAMES, Benchmark, get_benchmark
+__all__ = [
+    "ExperimentContext",
+    "default_context",
+    "figure2_cv_curves",
+    "figure3_minimum_instructions",
+    "figure4_speed_model",
+    "figure5_optimal_unit_size",
+    "figure6_cpi_estimates",
+    "figure7_epi_estimates",
+    "figure8_simpoint_comparison",
+    "table3_configurations",
+    "table4_detailed_warming",
+    "table5_functional_warming_bias",
+    "table6_checkpoint_comparison",
+    "table6_runtimes",
+]
 
 
-@dataclass
-class ExperimentContext:
-    """Shared configuration and caches for all experiments."""
-
-    scale: float = field(
-        default_factory=lambda: float(os.environ.get("REPRO_SCALE", "0.6")))
-    fast: bool = field(
-        default_factory=lambda: os.environ.get("REPRO_FAST", "0") == "1")
-    suite_names: list[str] = field(default_factory=list)
-    unit_size: int = 50
-    chunk_size: int = 25
-    n_init: int = 300
-    epsilon: float = 0.075
-    confidence: float = CONFIDENCE_997
-    use_cache: bool = True
-    #: Worker processes for suite sweeps (0/None = serial; REPRO_WORKERS).
-    max_workers: int | None = field(
-        default_factory=lambda: int(os.environ.get("REPRO_WORKERS") or 0) or None)
-    #: Checkpoint mode for suite sweeps ("off"/"auto"; REPRO_CHECKPOINTS).
-    checkpoints: str = field(
-        default_factory=lambda: os.environ.get("REPRO_CHECKPOINTS", "off"))
-
-    def __post_init__(self) -> None:
-        if not self.suite_names:
-            env = os.environ.get("REPRO_SUITE", "")
-            if env:
-                self.suite_names = [name.strip() for name in env.split(",") if name.strip()]
-            else:
-                self.suite_names = list(SUITE_NAMES)
-        self._benchmarks: dict[str, Benchmark] = {}
-        self._lengths: dict[str, int] = {}
-        self._references: dict[tuple[str, str], ReferenceResult] = {}
-        self._machines = {"8-way": scaled_8way(), "16-way": scaled_16way()}
-        self._session = None
-
-    # ------------------------------------------------------------------
-    # Machines / benchmarks / references
-    # ------------------------------------------------------------------
-    @property
-    def machines(self) -> dict[str, MachineConfig]:
-        return self._machines
-
-    def machine(self, name: str) -> MachineConfig:
-        return self._machines[name]
-
-    def warming(self, machine: MachineConfig) -> int:
-        return recommended_warming(machine)
-
-    def benchmark(self, name: str) -> Benchmark:
-        if name not in self._benchmarks:
-            self._benchmarks[name] = get_benchmark(name, scale=self.scale)
-        return self._benchmarks[name]
-
-    def benchmark_length(self, name: str) -> int:
-        if name not in self._lengths:
-            self._lengths[name] = self.reference(name, "8-way").instructions
-        return self._lengths[name]
-
-    def reference(self, benchmark_name: str, machine_name: str) -> ReferenceResult:
-        key = (benchmark_name, machine_name)
-        if key not in self._references:
-            benchmark = self.benchmark(benchmark_name)
-            self._references[key] = run_reference(
-                benchmark.program,
-                self.machine(machine_name),
-                chunk_size=self.chunk_size,
-                use_cache=self.use_cache,
-            )
-        return self._references[key]
-
-    def subset(self, count: int) -> list[str]:
-        """A smaller, behaviourally diverse subset for expensive sweeps."""
-        preferred = ["gcc.syn", "mcf.syn", "ammp.syn", "gzip.syn", "mgrid.syn",
-                     "vpr.syn", "mesa.syn", "bzip2.syn"]
-        names = [n for n in preferred if n in self.suite_names]
-        names += [n for n in self.suite_names if n not in names]
-        return names[:count]
-
-    # ------------------------------------------------------------------
-    # Session-layer sweeps
-    # ------------------------------------------------------------------
-    @property
-    def session(self):
-        """The :class:`repro.api.Session` used for suite sweeps."""
-        if self._session is None:
-            from repro.api import Session
-
-            self._session = Session(max_workers=self.max_workers,
-                                    use_cache=self.use_cache)
-        return self._session
-
-    def estimation_spec(self, benchmark_name: str, machine_name: str,
-                        metric: str = "cpi", max_rounds: int = 2):
-        """The RunSpec for one suite-sweep cell (Fig 6/7/8 style)."""
-        from repro.api import RunSpec, SystematicStrategy
-
-        machine = self.machine(machine_name)
-        return RunSpec(
-            benchmark=benchmark_name,
-            machine=machine_name,
-            strategy=SystematicStrategy(
-                unit_size=self.unit_size,
-                n_init=self.n_init,
-                max_rounds=max_rounds,
-                detailed_warming=self.warming(machine),
-                functional_warming=True,
-            ),
-            scale=self.scale,
-            metric=metric,
-            epsilon=self.epsilon,
-            confidence=self.confidence,
-            benchmark_length=self.reference(benchmark_name,
-                                            machine_name).instructions,
-            checkpoints=self.checkpoints,
-        )
-
-    def run_estimations(self, cells: list[tuple[str, str]],
-                        metric: str = "cpi", max_rounds: int = 2) -> dict:
-        """Execute a batch of (machine, benchmark) estimation cells.
-
-        Returns ``{(machine, benchmark): RunResult}``; execution is
-        parallel across cells when ``max_workers`` is set.
-        """
-        specs = [self.estimation_spec(benchmark, machine, metric=metric,
-                                      max_rounds=max_rounds)
-                 for machine, benchmark in cells]
-        results = self.session.run_batch(specs)
-        return dict(zip(cells, results))
+def _run(name: str, ctx: ExperimentContext, **params) -> dict:
+    """Delegate one legacy entry point to its registered study."""
+    return ctx.session.run_study(name, ctx=ctx, params=params).data
 
 
-@lru_cache(maxsize=1)
-def default_context() -> ExperimentContext:
-    """Process-wide experiment context (shared caches across benchmarks)."""
-    return ExperimentContext()
-
-
-# ----------------------------------------------------------------------
-# Table 3 — machine configurations
-# ----------------------------------------------------------------------
 def table3_configurations(ctx: ExperimentContext) -> dict:
-    """Table 3: the 8-way and 16-way machine configurations."""
-    rows = []
-    eight = ctx.machine("8-way").describe()
-    sixteen = ctx.machine("16-way").describe()
-    for key in eight:
-        rows.append((key, eight[key], sixteen[key]))
-    report = format_table(
-        ["Parameter", "8-way (baseline)", "16-way"], rows,
-        title="Table 3: machine configurations (scaled)")
-    return {"rows": rows, "report": report}
+    """Deprecated: use ``Session.run_study("table3")``."""
+    return _run("table3", ctx)
 
 
-# ----------------------------------------------------------------------
-# Figure 2 — coefficient of variation of CPI vs U
-# ----------------------------------------------------------------------
 def figure2_cv_curves(ctx: ExperimentContext, machine_name: str = "8-way",
                       metric: str = "cpi") -> dict:
-    """Figure 2: V_CPI of every benchmark as a function of unit size U."""
-    curves: dict[str, dict[int, float]] = {}
-    for name in ctx.suite_names:
-        reference = ctx.reference(name, machine_name)
-        sizes = default_unit_sizes(reference)
-        curves[name] = cv_versus_unit_size(reference, sizes, metric=metric)
-
-    all_sizes = sorted({u for curve in curves.values() for u in curve})
-    rows = []
-    for name, curve in curves.items():
-        rows.append([name] + [round(curve.get(u, float("nan")), 4)
-                              for u in all_sizes])
-    report = format_table(
-        ["benchmark"] + [f"U={u}" for u in all_sizes], rows,
-        title=f"Figure 2: coefficient of variation of {metric.upper()} vs "
-              f"sampling unit size ({machine_name})")
-    return {"curves": curves, "unit_sizes": all_sizes, "report": report}
-
-
-# ----------------------------------------------------------------------
-# Figure 3 — minimum measured instructions per confidence target
-# ----------------------------------------------------------------------
-#: Dynamic length used for "paper-scale" projections: a mid-sized SPEC2K
-#: reference run (the paper's benchmarks span 2-547 billion instructions).
-PAPER_SCALE_LENGTH = 50_000_000_000
+    """Deprecated: use ``Session.run_study("fig2")``."""
+    return _run("fig2", ctx, machine_name=machine_name, metric=metric)
 
 
 def figure3_minimum_instructions(ctx: ExperimentContext,
                                  machine_names: tuple[str, ...] = ("8-way", "16-way"),
                                  ) -> dict:
-    """Figure 3: minimum n·U to reach the standard confidence targets.
-
-    For every benchmark the measured CV is used twice: once against the
-    benchmark's own (scaled-down) population, and once projected onto a
-    SPEC-length stream of ``PAPER_SCALE_LENGTH`` instructions — the
-    latter is the quantity Figure 3 actually plots, and it shows the
-    "well under 0.1% of the stream" result the paper reports.
-    """
-    from repro.core.stats import required_sample_size as _required_n
-
-    per_benchmark: dict[tuple[str, str], dict] = {}
-    paper_scale_fractions: dict[tuple[str, str], float] = {}
-    headline = FIGURE3_TARGETS[1]    # ±3% at 99.7%
-    rows = []
-    for machine_name in machine_names:
-        for name in ctx.suite_names:
-            reference = ctx.reference(name, machine_name)
-            targets = minimum_measured_instructions(
-                reference, ctx.unit_size, FIGURE3_TARGETS)
-            per_benchmark[(machine_name, name)] = targets
-            cv = next(iter(targets.values()))["cv"]
-            paper_population = PAPER_SCALE_LENGTH // ctx.unit_size
-            paper_n = _required_n(cv, headline.epsilon, headline.confidence,
-                                  population_size=paper_population)
-            paper_fraction = paper_n * ctx.unit_size / PAPER_SCALE_LENGTH
-            paper_scale_fractions[(machine_name, name)] = paper_fraction
-            row = [machine_name, name, round(cv, 3)]
-            for target in FIGURE3_TARGETS:
-                info = targets[target]
-                row.append(f"{int(info['measured_instructions']):,} "
-                           f"({unsigned_percent(info['fraction_of_benchmark'])})")
-            row.append(f"{paper_fraction:.5%}")
-            rows.append(row)
-    headers = (["machine", "benchmark", f"V@U={ctx.unit_size}"]
-               + [t.label for t in FIGURE3_TARGETS]
-               + [f"{headline.label} at SPEC length"])
-    report = format_table(
-        headers, rows,
-        title="Figure 3: minimum measured instructions (and fraction of "
-              "benchmark) per confidence target")
-    return {"targets": per_benchmark,
-            "paper_scale_fractions": paper_scale_fractions,
-            "report": report}
+    """Deprecated: use ``Session.run_study("fig3")``."""
+    return _run("fig3", ctx, machine_names=machine_names)
 
 
-# ----------------------------------------------------------------------
-# Figure 4 — modeled SMARTS simulation rate vs W
-# ----------------------------------------------------------------------
 def figure4_speed_model(ctx: ExperimentContext,
                         benchmark_name: str = "gcc.syn") -> dict:
-    """Figure 4: modeled simulation rate as a function of detailed warming W.
-
-    Evaluated at paper scale (a gcc-sized benchmark with U = 1000 and
-    n = 10,000 sampling units) with the paper's S_D values, plus one
-    curve using this repository's measured rates.
-    """
-    paper_length = 46_900_000_000       # gcc-1 dynamic length (paper: ~47B)
-    sample_size = 10_000
-    unit_size = 1000
-    warming_values = [0, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000,
-                      1_000_000, 3_000_000, 10_000_000]
-
-    curves: dict[str, list[tuple[int, float]]] = {}
-    for label, s_d in (("S_D=1/60", PAPER_SD_TODAY), ("S_D=1/600", PAPER_SD_FUTURE)):
-        rates = SimulatorRates.paper(s_d)
-        curve = []
-        for warming in warming_values:
-            workload = SamplingWorkload(paper_length, sample_size, unit_size, warming)
-            curve.append((warming, paper_rate(workload, rates,
-                                              functional_warming=False)))
-        curves[label] = curve
-
-    # With functional warming the fast-forward rate drops to S_FW but the
-    # rate is insensitive to W (bounded small); show the same sweep.
-    rates = SimulatorRates.paper(PAPER_SD_TODAY)
-    curves["S_FW=0.55 (functional warming)"] = [
-        (warming, paper_rate(
-            SamplingWorkload(paper_length, sample_size, unit_size,
-                             min(warming, 2000)),
-            rates, functional_warming=True))
-        for warming in warming_values
-    ]
-
-    # Our measured rates on the calibration benchmark.
-    benchmark = ctx.benchmark(benchmark_name)
-    measured = measure_rates(benchmark.program, ctx.machine("8-way"),
-                             instructions=30_000 if ctx.fast else 60_000)
-    our_rates = measured.to_simulator_rates()
-    length = ctx.benchmark_length(benchmark_name)
-    our_sample = max(1, ctx.n_init)
-    curves["measured rates (this repo, functional warming)"] = [
-        (warming, paper_rate(
-            SamplingWorkload(length, our_sample, ctx.unit_size,
-                             min(warming, ctx.warming(ctx.machine("8-way")))),
-            our_rates, functional_warming=True))
-        for warming in warming_values
-    ]
-
-    rows = []
-    for warming in warming_values:
-        row = [warming]
-        for label in curves:
-            value = dict(curves[label])[warming]
-            row.append(round(value, 4))
-        rows.append(row)
-    report = format_table(
-        ["W"] + list(curves), rows,
-        title="Figure 4: modeled SMARTS simulation rate (normalized to "
-              "functional simulation) vs detailed warming W")
-    return {"curves": curves, "measured_rates": measured, "report": report}
+    """Deprecated: use ``Session.run_study("fig4")``."""
+    return _run("fig4", ctx, benchmark_name=benchmark_name)
 
 
-# ----------------------------------------------------------------------
-# Figure 5 — optimal sampling unit size
-# ----------------------------------------------------------------------
 def figure5_optimal_unit_size(ctx: ExperimentContext,
                               benchmark_names: list[str] | None = None,
                               machine_name: str = "8-way") -> dict:
-    """Figure 5: detail-simulated fraction vs U for several W values."""
-    if benchmark_names is None:
-        candidates = ["gcc.syn", "bzip2.syn", "mesa.syn", "mcf.syn"]
-        benchmark_names = [n for n in candidates if n in ctx.suite_names] or \
-            ctx.subset(4)
-    machine = ctx.machine(machine_name)
-    base_warming = ctx.warming(machine)
-    warming_values = [0, base_warming, 3 * base_warming]
-
-    results: dict[str, dict[int, dict[int, float]]] = {}
-    optima: dict[str, dict[int, int]] = {}
-    for name in benchmark_names:
-        reference = ctx.reference(name, machine_name)
-        sizes = default_unit_sizes(reference)
-        cv_curve = cv_versus_unit_size(reference, sizes)
-        per_warming: dict[int, dict[int, float]] = {}
-        best_per_warming: dict[int, int] = {}
-        for warming in warming_values:
-            fractions: dict[int, float] = {}
-            for unit_size, cv in cv_curve.items():
-                population = reference.instructions // unit_size
-                if population < 2:
-                    continue
-                n = required_sample_size(cv, ctx.epsilon, ctx.confidence,
-                                         population_size=population)
-                # The fraction cannot exceed full detailed simulation of
-                # the whole stream (at paper-scale populations it never
-                # comes close; at our reduced scale high-CV benchmarks
-                # saturate).
-                fractions[unit_size] = min(
-                    1.0, n * (unit_size + warming) / reference.instructions)
-            per_warming[warming] = fractions
-            best_per_warming[warming] = min(fractions, key=fractions.get)
-        results[name] = per_warming
-        optima[name] = best_per_warming
-
-    rows = []
-    for name in benchmark_names:
-        for warming in warming_values:
-            fractions = results[name][warming]
-            best = optima[name][warming]
-            rows.append([
-                name, warming, best,
-                unsigned_percent(fractions[best]),
-                unsigned_percent(fractions.get(ctx.unit_size,
-                                               min(fractions.values()))),
-            ])
-    report = format_table(
-        ["benchmark", "W", "optimal U", "fraction at optimal U",
-         f"fraction at U={ctx.unit_size}"],
-        rows,
-        title="Figure 5: optimal sampling unit size vs detailed warming")
-    return {"fractions": results, "optima": optima, "report": report}
+    """Deprecated: use ``Session.run_study("fig5")``."""
+    return _run("fig5", ctx, benchmark_names=benchmark_names,
+                machine_name=machine_name)
 
 
-# ----------------------------------------------------------------------
-# Table 4 — detailed warming requirements (no functional warming)
-# ----------------------------------------------------------------------
 def table4_detailed_warming(ctx: ExperimentContext,
                             machine_name: str = "8-way",
                             benchmark_names: list[str] | None = None,
                             warming_values: list[int] | None = None,
                             bias_threshold: float = 0.015) -> dict:
-    """Table 4: W needed (without functional warming) for <1.5% bias."""
-    machine = ctx.machine(machine_name)
-    if benchmark_names is None:
-        benchmark_names = ctx.subset(6 if ctx.fast else len(ctx.suite_names))
-    if warming_values is None:
-        base = ctx.warming(machine)
-        warming_values = [0, base // 2, base, 3 * base, 8 * base]
-        if ctx.fast:
-            warming_values = [0, base, 5 * base]
-
-    requirements: dict[str, int | None] = {}
-    biases: dict[str, dict[int, float]] = {}
-    for name in benchmark_names:
-        benchmark = ctx.benchmark(name)
-        reference = ctx.reference(name, machine_name)
-        required, bias_curve = required_detailed_warming(
-            benchmark.program, machine, reference,
-            unit_size=ctx.unit_size,
-            # Bias is measured against per-unit ground truth, so a modest
-            # sample per phase suffices and keeps the W sweep affordable.
-            target_sample_size=max(100, ctx.n_init // 3),
-            warming_values=warming_values,
-            bias_threshold=bias_threshold,
-            phases=2,
-        )
-        requirements[name] = required
-        biases[name] = bias_curve
-
-    rows = []
-    for name in benchmark_names:
-        required = requirements[name]
-        label = str(required) if required is not None else f"> {max(warming_values)}"
-        curve = "  ".join(f"W={w}:{percent(b, 1)}" for w, b in biases[name].items())
-        rows.append([name, label, curve])
-    report = format_table(
-        ["benchmark", f"W for |bias| < {bias_threshold:.1%}", "measured bias by W"],
-        rows,
-        title=f"Table 4: detailed warming requirements without functional "
-              f"warming ({machine_name})")
-    return {"requirements": requirements, "biases": biases,
-            "warming_values": warming_values, "report": report}
+    """Deprecated: use ``Session.run_study("table4")``."""
+    return _run("table4", ctx, machine_name=machine_name,
+                benchmark_names=benchmark_names,
+                warming_values=warming_values,
+                bias_threshold=bias_threshold)
 
 
-# ----------------------------------------------------------------------
-# Table 5 — residual bias with functional warming
-# ----------------------------------------------------------------------
 def table5_functional_warming_bias(ctx: ExperimentContext,
                                    machine_names: tuple[str, ...] = ("8-way", "16-way"),
                                    phases: int | None = None) -> dict:
-    """Table 5: CPI bias with functional warming and minimal detailed warming."""
-    if phases is None:
-        phases = 2
-    biases: dict[tuple[str, str], float] = {}
-    for machine_name in machine_names:
-        machine = ctx.machine(machine_name)
-        for name in ctx.suite_names:
-            benchmark = ctx.benchmark(name)
-            reference = ctx.reference(name, machine_name)
-            measurement = measure_bias(
-                benchmark.program, machine, reference,
-                unit_size=ctx.unit_size,
-                target_sample_size=max(150, ctx.n_init // 2),
-                detailed_warming=ctx.warming(machine),
-                functional_warming=True,
-                phases=phases,
-            )
-            biases[(machine_name, name)] = measurement.bias
-
-    rows = []
-    for machine_name in machine_names:
-        machine_biases = {n: b for (m, n), b in biases.items() if m == machine_name}
-        ordered = sorted(machine_biases.items(), key=lambda kv: -abs(kv[1]))
-        for name, bias in ordered:
-            rows.append([machine_name, name, percent(bias)])
-        average = np.mean([abs(b) for b in machine_biases.values()])
-        rows.append([machine_name, "average |bias|", unsigned_percent(float(average))])
-    report = format_table(
-        ["machine", "benchmark", "CPI bias"], rows,
-        title="Table 5: CPI bias with functional warming and minimal "
-              "detailed warming")
-    return {"biases": biases, "report": report}
+    """Deprecated: use ``Session.run_study("table5")``."""
+    return _run("table5", ctx, machine_names=machine_names, phases=phases)
 
 
-# ----------------------------------------------------------------------
-# Figures 6 and 7 — CPI / EPI estimation with n_init (and n_tuned)
-# ----------------------------------------------------------------------
 def figure6_cpi_estimates(ctx: ExperimentContext,
                           machine_names: tuple[str, ...] = ("8-way", "16-way"),
                           metric: str = "cpi") -> dict:
-    """Figure 6 (CPI) / Figure 7 (EPI): estimation error vs confidence interval.
-
-    The suite sweep runs through the :mod:`repro.api` session layer: one
-    RunSpec per (machine, benchmark) cell, batch-executed (in parallel
-    when ``ctx.max_workers`` is set) with on-disk result caching.
-    """
-    cells = [(machine_name, name)
-             for machine_name in machine_names
-             for name in ctx.suite_names]
-    results = ctx.run_estimations(cells, metric=metric, max_rounds=2)
-
-    entries: dict[tuple[str, str], dict] = {}
-    for (machine_name, name), result in results.items():
-        reference = ctx.reference(name, machine_name)
-        true_value = reference.cpi if metric == "cpi" else reference.epi
-        initial = result.initial_estimate
-        entries[(machine_name, name)] = {
-            "true": true_value,
-            "initial_estimate": initial["mean"],
-            "initial_ci": initial["ci"],
-            "initial_error": (initial["mean"] - true_value) / true_value,
-            "final_estimate": result.estimate_mean,
-            "final_ci": result.confidence_interval,
-            "final_error": (result.estimate_mean - true_value) / true_value,
-            "rounds": result.rounds,
-            "n_final": result.sample_size,
-            "tuned_n": (result.tuned_sample_sizes[-1]
-                        if result.tuned_sample_sizes else None),
-            "measured_instructions": result.instructions_measured,
-            "detailed_fraction": result.detailed_fraction,
-            "target_met": result.target_met,
-        }
-
-    rows = []
-    for (machine_name, name), entry in sorted(
-            entries.items(), key=lambda kv: -abs(kv[1]["initial_ci"])):
-        rows.append([
-            machine_name, name,
-            round(entry["true"], 4),
-            round(entry["initial_estimate"], 4),
-            percent(entry["initial_error"]),
-            unsigned_percent(entry["initial_ci"]),
-            entry["rounds"],
-            entry["n_final"],
-            percent(entry["final_error"]),
-            unsigned_percent(entry["final_ci"]),
-        ])
-    label = metric.upper()
-    report = format_table(
-        ["machine", "benchmark", f"true {label}", f"{label} (n_init)",
-         "error (n_init)", "CI (n_init)", "rounds", "n final",
-         "error (final)", "CI (final)"],
-        rows,
-        title=f"Figure {'6' if metric == 'cpi' else '7'}: {label} estimation "
-              f"with n_init={ctx.n_init}, U={ctx.unit_size} "
-              f"(99.7% confidence intervals)")
-    return {"entries": entries, "report": report}
+    """Deprecated: use ``Session.run_study("fig6")``."""
+    if metric == "epi":
+        # The EPI variant is its own study (fig7); keep the legacy
+        # metric switch working.
+        return _run("fig7", ctx, machine_names=machine_names)
+    return _run("fig6", ctx, machine_names=machine_names, metric=metric)
 
 
 def figure7_epi_estimates(ctx: ExperimentContext,
                           machine_names: tuple[str, ...] = ("8-way",)) -> dict:
-    """Figure 7: EPI estimation (8-way) with n_init."""
-    return figure6_cpi_estimates(ctx, machine_names=machine_names, metric="epi")
+    """Deprecated: use ``Session.run_study("fig7")``."""
+    return _run("fig7", ctx, machine_names=machine_names)
 
 
-# ----------------------------------------------------------------------
-# Table 6 — runtimes of functional / detailed / SMARTS simulation
-# ----------------------------------------------------------------------
 def table6_runtimes(ctx: ExperimentContext, machine_name: str = "8-way") -> dict:
-    """Table 6: projected runtimes and speedups, paper-scale and measured."""
-    machine = ctx.machine(machine_name)
-    calibration = ctx.benchmark(ctx.subset(1)[0])
-    measured = measure_rates(calibration.program, machine,
-                             instructions=30_000 if ctx.fast else 60_000)
-    our_rates = measured.to_simulator_rates()
-    paper_rates = SimulatorRates.paper(PAPER_SD_TODAY)
-
-    rows = []
-    details: dict[str, dict] = {}
-    for name in ctx.suite_names:
-        length = ctx.benchmark_length(name)
-        reference = ctx.reference(name, machine_name)
-        workload = SamplingWorkload(
-            benchmark_length=length,
-            sample_size=min(ctx.n_init, length // ctx.unit_size),
-            unit_size=ctx.unit_size,
-            detailed_warming=ctx.warming(machine),
-        )
-        functional_s = functional_runtime_seconds(length, our_rates)
-        detailed_s = detailed_runtime_seconds(length, our_rates)
-        smarts_s = runtime_seconds(workload, our_rates, functional_warming=True)
-        speedup = speedup_over_detailed(workload, our_rates, functional_warming=True)
-
-        # Paper-scale projection: same benchmark "shape" blown up to a
-        # SPEC-sized stream with the paper's canonical parameters.
-        paper_length = length * 100_000
-        paper_workload = SamplingWorkload(
-            benchmark_length=paper_length,
-            sample_size=10_000,
-            unit_size=1000,
-            detailed_warming=2000 if machine_name == "8-way" else 4000,
-        )
-        paper_speedup = speedup_over_detailed(paper_workload, paper_rates,
-                                              functional_warming=True)
-        details[name] = {
-            "functional_seconds": functional_s,
-            "detailed_seconds": detailed_s,
-            "smarts_seconds": smarts_s,
-            "measured_detailed_seconds": reference.seconds,
-            "speedup": speedup,
-            "paper_scale_speedup": paper_speedup,
-        }
-        rows.append([
-            name,
-            round(detailed_s, 1),
-            round(functional_s, 1),
-            round(smarts_s, 1),
-            round(speedup, 1),
-            round(paper_speedup, 1),
-        ])
-
-    average_speedup = float(np.mean([d["speedup"] for d in details.values()]))
-    paper_average = float(np.mean([d["paper_scale_speedup"] for d in details.values()]))
-    report = format_table(
-        ["benchmark", "detailed (s)", "functional (s)", "SMARTS (s)",
-         "speedup (this repo)", "speedup (paper-scale model)"],
-        rows,
-        title=f"Table 6: runtimes for SMARTS compared to detailed and "
-              f"functional simulation ({machine_name}); measured rates: "
-              f"S_D={measured.s_detailed:.3f}, S_FW={measured.s_warming:.3f}")
-
-    checkpoint = table6_checkpoint_comparison(ctx, machine_name)
-    report = report + "\n\n" + checkpoint.pop("report")
-    return {"details": details, "measured_rates": measured,
-            "average_speedup": average_speedup,
-            "paper_scale_average_speedup": paper_average,
-            "checkpoint": checkpoint, "report": report}
+    """Deprecated: use ``Session.run_study("table6")``."""
+    return _run("table6", ctx, machine_name=machine_name)
 
 
 def table6_checkpoint_comparison(ctx: ExperimentContext,
                                  machine_name: str = "8-way") -> dict:
-    """Checkpointed column of Table 6: measured, count-based.
+    """Deprecated: use :func:`repro.api.studies.table6_checkpoint_comparison`."""
+    from repro.api.studies import table6_checkpoint_comparison as impl
 
-    For a behaviourally diverse subset, one systematic sampling run is
-    executed twice — serial functional warming vs. checkpointed restore
-    — and compared on the *instruction counts* each mode executed (the
-    container is single-core, so wall-clock speedups are never
-    asserted).  The per-unit measurements of the two runs must be
-    bit-identical; the checkpointed run merely replaces most functional
-    warming work with snapshot restores.
-    """
-    from repro.checkpoint import CheckpointStore
-    from repro.core.sampling import SystematicSamplingPlan
-    from repro.core.smarts import run_smarts
-
-    machine = ctx.machine(machine_name)
-    # Go through the store (honouring ctx.use_cache like the reference
-    # traces do) so repeated table6 runs pay the warming build only once.
-    store = CheckpointStore(enabled=ctx.use_cache)
-    rows = []
-    details: dict[str, dict] = {}
-    for name in ctx.subset(2 if ctx.fast else 3):
-        benchmark = ctx.benchmark(name)
-        length = ctx.benchmark_length(name)
-        plan = SystematicSamplingPlan.for_sample_size(
-            benchmark_length=length,
-            unit_size=ctx.unit_size,
-            target_sample_size=min(ctx.n_init, length // ctx.unit_size),
-            detailed_warming=ctx.warming(machine),
-        )
-        serial = run_smarts(benchmark.program, machine, plan, length,
-                            measure_energy=False)
-        ckpt = store.get_or_build(benchmark.program, machine, ctx.unit_size)
-        restored = run_smarts(benchmark.program, machine, plan, length,
-                              measure_energy=False, checkpoints=ckpt)
-        ff_serial = serial.instructions_fastforwarded
-        ff_ckpt = restored.instructions_fastforwarded
-        reduction = 1.0 - ff_ckpt / ff_serial if ff_serial else 0.0
-        details[name] = {
-            "ff_serial": ff_serial,
-            "ff_checkpointed": ff_ckpt,
-            "instructions_restored": restored.instructions_restored,
-            "checkpoint_restores": restored.checkpoint_restores,
-            "warming_reduction": reduction,
-            "identical_units": serial.units == restored.units,
-        }
-        rows.append([
-            name,
-            f"{ff_serial:,}",
-            f"{ff_ckpt:,}",
-            f"{restored.instructions_restored:,}",
-            percent(reduction),
-            "yes" if details[name]["identical_units"] else "NO",
-        ])
-    average = float(np.mean([d["warming_reduction"] for d in details.values()]))
-    report = format_table(
-        ["benchmark", "warmed instr. (serial)", "warmed instr. (ckpt)",
-         "restored instr.", "warming reduction", "bit-identical"],
-        rows,
-        title=f"Table 6 (checkpointed column): functional-warming "
-              f"instructions with and without checkpoint restore "
-              f"({machine_name})")
-    return {"details": details, "average_warming_reduction": average,
-            "report": report}
+    return impl(ctx, machine_name=machine_name)
 
 
-# ----------------------------------------------------------------------
-# Figure 8 — comparison against SimPoint
-# ----------------------------------------------------------------------
 def figure8_simpoint_comparison(ctx: ExperimentContext,
                                 machine_name: str = "8-way",
                                 benchmark_names: list[str] | None = None,
                                 interval_size: int | None = None,
                                 max_clusters: int = 8) -> dict:
-    """Figure 8: per-benchmark CPI error of SimPoint vs SMARTS."""
-    machine = ctx.machine(machine_name)
-    if benchmark_names is None:
-        benchmark_names = ctx.subset(6 if ctx.fast else len(ctx.suite_names))
-    if interval_size is None:
-        # SimPoint uses very large units (100M at SPEC scale); scaled to
-        # roughly 1/100 of a benchmark here.
-        interval_size = max(1000, ctx.unit_size * 50)
-
-    smarts_results = ctx.run_estimations(
-        [(machine_name, name) for name in benchmark_names],
-        metric="cpi", max_rounds=1)
-
-    entries: dict[str, dict] = {}
-    for name in benchmark_names:
-        benchmark = ctx.benchmark(name)
-        reference = ctx.reference(name, machine_name)
-        true_cpi = reference.cpi
-
-        simpoint = run_simpoint(
-            benchmark.program, machine, interval_size=interval_size,
-            max_clusters=max_clusters, measure_energy=False)
-        smarts = smarts_results[(machine_name, name)]
-        entries[name] = {
-            "true_cpi": true_cpi,
-            "simpoint_cpi": simpoint.cpi,
-            "simpoint_error": (simpoint.cpi - true_cpi) / true_cpi,
-            "simpoint_clusters": simpoint.num_clusters,
-            "smarts_cpi": smarts.estimate_mean,
-            "smarts_error": (smarts.estimate_mean - true_cpi) / true_cpi,
-            "smarts_ci": smarts.confidence_interval,
-        }
-
-    rows = []
-    for name, entry in sorted(entries.items(),
-                              key=lambda kv: -abs(kv[1]["simpoint_error"])):
-        rows.append([
-            name,
-            round(entry["true_cpi"], 4),
-            round(entry["simpoint_cpi"], 4),
-            percent(entry["simpoint_error"]),
-            entry["simpoint_clusters"],
-            round(entry["smarts_cpi"], 4),
-            percent(entry["smarts_error"]),
-            unsigned_percent(entry["smarts_ci"]),
-        ])
-    simpoint_avg = float(np.mean([abs(e["simpoint_error"]) for e in entries.values()]))
-    smarts_avg = float(np.mean([abs(e["smarts_error"]) for e in entries.values()]))
-    report = format_table(
-        ["benchmark", "true CPI", "SimPoint CPI", "SimPoint error", "clusters",
-         "SMARTS CPI", "SMARTS error", "SMARTS CI"],
-        rows,
-        title=f"Figure 8: SimPoint vs SMARTS CPI error ({machine_name}); "
-              f"mean |error|: SimPoint {simpoint_avg:.2%}, SMARTS {smarts_avg:.2%}")
-    return {"entries": entries, "simpoint_mean_abs_error": simpoint_avg,
-            "smarts_mean_abs_error": smarts_avg, "report": report}
+    """Deprecated: use ``Session.run_study("fig8")``."""
+    return _run("fig8", ctx, machine_name=machine_name,
+                benchmark_names=benchmark_names,
+                interval_size=interval_size, max_clusters=max_clusters)

@@ -1,0 +1,172 @@
+"""Tests for the ResultSet container: querying, aggregation, export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import RunResult, RunSpec
+from repro.api.resultset import (
+    AGGREGATORS,
+    ResultSet,
+    result_row,
+    rows_from_csv,
+    rows_to_csv,
+)
+
+
+def make_result(benchmark="gzip.syn", machine="8-way", estimate=1.0,
+                ci=0.05, cv=0.1, n=10, rounds=1) -> RunResult:
+    spec = RunSpec(benchmark=benchmark, machine=machine)
+    return RunResult(
+        spec=spec,
+        estimate_mean=estimate,
+        estimate_cv=cv,
+        confidence_interval=ci,
+        target_met=ci <= spec.epsilon,
+        sample_size=n,
+        population_size=100,
+        benchmark_length=5000,
+        rounds=rounds,
+        round_estimates=[{"sample_size": n, "mean": estimate,
+                          "cv": cv, "ci": ci}],
+    )
+
+
+@pytest.fixture()
+def rs() -> ResultSet:
+    return ResultSet([
+        make_result("gzip.syn", "8-way", estimate=1.0, ci=0.05, n=10),
+        make_result("gzip.syn", "16-way", estimate=0.8, ci=0.10, n=20),
+        make_result("mcf.syn", "8-way", estimate=2.0, ci=0.02, n=30),
+        make_result("mcf.syn", "16-way", estimate=1.5, ci=0.04, n=40),
+    ])
+
+
+class TestSequence:
+    def test_len_iter_getitem(self, rs):
+        assert len(rs) == 4
+        assert [r.spec.benchmark for r in rs] == \
+            ["gzip.syn", "gzip.syn", "mcf.syn", "mcf.syn"]
+        assert rs[0].spec.machine == "8-way"
+
+    def test_slice_returns_resultset(self, rs):
+        head = rs[:2]
+        assert isinstance(head, ResultSet)
+        assert len(head) == 2
+
+
+class TestQuerying:
+    def test_filter_by_field(self, rs):
+        eight = rs.filter(machine="8-way")
+        assert len(eight) == 2
+        assert all(r.spec.machine == "8-way" for r in eight)
+
+    def test_filter_by_callable_field(self, rs):
+        tight = rs.filter(ci=lambda v: v <= 0.04)
+        assert {r.spec.benchmark for r in tight} == {"mcf.syn"}
+
+    def test_filter_by_predicate(self, rs):
+        big = rs.filter(lambda r: r.estimate_mean > 1.0)
+        assert len(big) == 2
+
+    def test_sorted_by(self, rs):
+        by_ci = rs.sorted_by("ci")
+        assert by_ci.values("ci") == sorted(rs.values("ci"))
+        reverse = rs.sorted_by("ci", reverse=True)
+        assert reverse.values("ci") == sorted(rs.values("ci"), reverse=True)
+
+    def test_by_cell(self, rs):
+        cells = rs.by_cell()
+        assert cells[("8-way", "mcf.syn")].estimate_mean == 2.0
+        assert len(cells) == 4
+
+    def test_by_cell_rejects_duplicate_cells(self, rs):
+        doubled = ResultSet(list(rs) + [make_result("gzip.syn", "8-way")])
+        with pytest.raises(ValueError, match="multiple results"):
+            doubled.by_cell()
+
+    def test_groupby_preserves_order_and_membership(self, rs):
+        groups = rs.groupby("machine")
+        assert list(groups) == [("8-way",), ("16-way",)]
+        assert len(groups[("8-way",)]) == 2
+        assert len(groups["16-way"]) == 2  # scalar key accepted
+
+    def test_groupby_requires_keys(self, rs):
+        with pytest.raises(ValueError):
+            rs.groupby()
+
+
+class TestAggregation:
+    def test_aggregate_matches_numpy(self, rs):
+        agg = rs.aggregate(mean_ci=("ci", "mean"), worst=("ci", "max"),
+                           best=("ci", "min"), total_n=("sample_size", "sum"),
+                           count=("ci", "count"), spread=("ci", "std"))
+        cis = rs.values("ci")
+        assert agg["mean_ci"] == pytest.approx(np.mean(cis))
+        assert agg["worst"] == max(cis)
+        assert agg["best"] == min(cis)
+        assert agg["total_n"] == 100
+        assert agg["count"] == 4
+        assert agg["spread"] == pytest.approx(np.std(cis))
+
+    def test_aggregate_median_even_and_odd(self, rs):
+        assert rs.aggregate(m=("sample_size", "median"))["m"] == 25
+        odd = rs[:3]
+        assert odd.aggregate(m=("sample_size", "median"))["m"] == 20
+
+    def test_aggregate_accepts_callable(self, rs):
+        agg = rs.aggregate(span=("estimate", lambda vs: max(vs) - min(vs)))
+        assert agg["span"] == pytest.approx(1.2)
+
+    def test_aggregate_unknown_name_raises(self, rs):
+        with pytest.raises(KeyError):
+            rs.aggregate(x=("ci", "harmonic"))
+
+    def test_aggregate_empty_raises(self):
+        with pytest.raises(ValueError):
+            ResultSet().aggregate(x=("ci", "mean"))
+
+    def test_grouped_aggregate_rows(self, rs):
+        rows = rs.groupby("machine").aggregate(mean_ci=("ci", "mean"),
+                                               n=("ci", "count"))
+        assert rows == [
+            {"machine": "8-way", "mean_ci": pytest.approx(0.035), "n": 2},
+            {"machine": "16-way", "mean_ci": pytest.approx(0.07), "n": 2},
+        ]
+
+    def test_aggregators_registry_is_complete(self):
+        for name in ("mean", "median", "min", "max", "sum", "count", "std",
+                     "first", "last"):
+            assert name in AGGREGATORS
+
+
+class TestExport:
+    def test_rows_are_flat_scalars(self, rs):
+        rows = rs.rows()
+        assert rows == [result_row(r) for r in rs]
+        for row in rows:
+            for value in row.values():
+                assert isinstance(value, (str, int, float, bool))
+
+    def test_json_round_trip_is_lossless(self, rs):
+        clone = ResultSet.from_json(rs.to_json())
+        assert len(clone) == len(rs)
+        for a, b in zip(rs, clone):
+            assert a.to_dict() == b.to_dict()
+
+    def test_csv_round_trip_preserves_rows(self, rs):
+        parsed = rows_from_csv(rs.to_csv())
+        assert parsed == rs.rows()
+
+    def test_rows_csv_handles_none_and_heterogeneous_columns(self):
+        rows = [{"a": 1, "b": None}, {"a": 2.5, "c": "x"}]
+        parsed = rows_from_csv(rows_to_csv(rows))
+        assert parsed == [{"a": 1, "b": None, "c": None},
+                          {"a": 2.5, "b": None, "c": "x"}]
+
+    def test_to_table_renders_columns(self, rs):
+        table = rs.to_table(columns=["benchmark", "machine", "estimate"],
+                            title="demo")
+        assert "demo" in table
+        assert "gzip.syn" in table and "16-way" in table

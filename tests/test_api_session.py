@@ -18,6 +18,12 @@ from repro.api import (
     resolve_machine,
 )
 
+@pytest.fixture(autouse=True)
+def isolated_checkpoint_store(tmp_path, monkeypatch):
+    """Keep stratified runs' BBV profiles out of the repo's .ckpt_cache."""
+    monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "ckpt"))
+
+
 #: A cheap systematic spec on the micro benchmark.
 MICRO_SPEC = RunSpec(
     benchmark="micro.syn",

@@ -1,0 +1,226 @@
+"""Tests for the declarative study layer.
+
+Covers the registry, `Session.run_study`, custom study registration,
+and — the migration contract — golden equality of every migrated
+study's payload against the legacy ``repro.harness.experiments`` entry
+point (same data dictionary, byte-identical report) at miniature scale.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    EXPERIMENT_NAMES,
+    STUDIES,
+    ResultSet,
+    RunSpec,
+    Session,
+    Study,
+    StudyContext,
+    SystematicStrategy,
+    get_study,
+    register_study,
+    run_study,
+    study_names,
+)
+from repro.harness import experiments as legacy
+
+
+@pytest.fixture(scope="module")
+def tiny_ctx(tmp_path_factory):
+    """A miniature study context with isolated on-disk caches.
+
+    ``use_cache=True`` so the second execution of each study (the
+    legacy-shim side of the golden comparison) hits the run-result
+    cache instead of re-simulating.
+    """
+    mp = pytest.MonkeyPatch()
+    base = tmp_path_factory.mktemp("study_caches")
+    mp.setenv("REPRO_RUN_CACHE_DIR", str(base / "run"))
+    mp.setenv("REPRO_CACHE_DIR", str(base / "ref"))
+    mp.setenv("REPRO_CHECKPOINT_DIR", str(base / "ckpt"))
+    ctx = StudyContext(
+        scale=0.05,
+        fast=True,
+        suite_names=["gzip.syn", "mcf.syn"],
+        unit_size=50,
+        chunk_size=25,
+        n_init=60,
+        epsilon=0.2,
+        use_cache=True,
+    )
+    yield ctx
+    mp.undo()
+
+
+class TestRegistry:
+    def test_all_paper_experiments_are_registered(self):
+        assert set(study_names()) == {
+            "table3", "fig2", "fig3", "fig4", "fig5", "table4", "table5",
+            "fig6", "fig7", "table6", "fig8"}
+        assert EXPERIMENT_NAMES == study_names()
+
+    def test_get_study_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown study"):
+            get_study("fig99")
+
+    def test_estimation_studies_have_grids(self):
+        for name in ("fig6", "fig7", "fig8"):
+            assert get_study(name).grid is not None
+        for name in ("table3", "fig2", "table6"):
+            assert get_study(name).grid is None
+
+    def test_every_study_names_its_legacy_shim(self):
+        for study in STUDIES.values():
+            assert hasattr(legacy, study.legacy)
+
+    def test_duplicate_name_rejected(self):
+        clone = Study(name="fig6", title="imposter",
+                      analyze=lambda ctx, results: {})
+        with pytest.raises(ValueError, match="already registered"):
+            register_study(clone)
+
+    def test_reregistering_same_object_is_idempotent(self):
+        study = get_study("fig6")
+        assert register_study(study) is study
+
+    def test_describe_row(self):
+        row = get_study("fig6").describe()
+        assert row == {"name": "fig6",
+                       "title": "Figure 6: CPI estimation across the suite",
+                       "has_grid": True,
+                       "legacy": "figure6_cpi_estimates"}
+
+
+class TestRunStudy:
+    def test_custom_study_runs_through_session(self, tiny_ctx):
+        def grid(ctx, epsilon=0.5):
+            return [RunSpec(benchmark="micro.syn", scale=0.05,
+                            epsilon=epsilon,
+                            strategy=SystematicStrategy(
+                                unit_size=25, n_init=20, max_rounds=1,
+                                detailed_warming=50))]
+
+        def analyze(ctx, results, epsilon=0.5):
+            assert isinstance(results, ResultSet)
+            return {"cpi": results[0].estimate_mean,
+                    "report": f"micro CPI {results[0].estimate_mean:.3f}"}
+
+        study = Study(name="micro-demo", title="demo", grid=grid,
+                      analyze=analyze,
+                      tidy=lambda data: [{"cpi": data["cpi"]}])
+        session = Session(use_cache=False)
+        report = session.run_study(study, ctx=tiny_ctx,
+                                   params={"epsilon": 0.4})
+        assert report.study == "micro-demo"
+        assert report.data["cpi"] > 0
+        assert report.rows == [{"cpi": report.data["cpi"]}]
+        assert len(report.results) == 1
+        assert report.results[0].spec.epsilon == 0.4
+        assert "micro CPI" in report.report
+
+    def test_report_row_export(self, tiny_ctx):
+        report = run_study("table3", tiny_ctx)
+        assert report.rows[0]["parameter"] == "RUU/LSQ"
+        csv_text = report.rows_csv()
+        assert csv_text.splitlines()[0] == "parameter,8-way,16-way"
+        assert "RUU/LSQ" in report.rows_json()
+
+    def test_analysis_only_params_need_no_grid_mirror(self, tiny_ctx):
+        """A param only the analysis accepts must not reach the grid."""
+        def grid(ctx):
+            return []
+
+        def analyze(ctx, results, label="default"):
+            return {"label": label, "report": label}
+
+        study = Study(name="param-split", title="demo", grid=grid,
+                      analyze=analyze)
+        report = Session(use_cache=False).run_study(
+            study, ctx=tiny_ctx, params={"label": "custom"})
+        assert report.data["label"] == "custom"
+
+    def test_unknown_param_raises_before_running(self, tiny_ctx):
+        study = Study(name="strict-params", title="demo",
+                      analyze=lambda ctx, results: {"report": ""})
+        with pytest.raises(TypeError, match="no parameter"):
+            Session(use_cache=False).run_study(
+                study, ctx=tiny_ctx, params={"typo": 1})
+
+    def test_rows_json_handles_numpy_scalars(self):
+        import numpy as np
+
+        from repro.api import StudyReport
+
+        report = StudyReport(study="x", title="x", data={}, rows=[
+            {"a": np.float64(1.5), "b": np.int64(2),
+             "c": np.array([1, 2])}])
+        assert json.loads(report.rows_json()) == \
+            [{"a": 1.5, "b": 2, "c": [1, 2]}]
+
+    def test_grid_study_exposes_executed_results(self, tiny_ctx):
+        report = run_study("fig6", tiny_ctx,
+                           params={"machine_names": ("8-way",)})
+        assert len(report.results) == len(tiny_ctx.suite_names)
+        assert {r.spec.benchmark for r in report.results} == \
+            set(tiny_ctx.suite_names)
+        assert report.rows and report.rows[0]["machine"] == "8-way"
+
+
+#: (study name, legacy entry point, params) — miniature-scale variants
+#: of every migrated experiment.
+GOLDEN_CASES = [
+    ("table3", "table3_configurations", {}),
+    ("fig2", "figure2_cv_curves", {"machine_name": "8-way"}),
+    ("fig3", "figure3_minimum_instructions",
+     {"machine_names": ("8-way",)}),
+    ("fig4", "figure4_speed_model", {"benchmark_name": "gzip.syn"}),
+    ("fig5", "figure5_optimal_unit_size",
+     {"benchmark_names": ["gzip.syn"], "machine_name": "8-way"}),
+    ("table4", "table4_detailed_warming",
+     {"benchmark_names": ["gzip.syn"], "warming_values": [0, 128]}),
+    ("table5", "table5_functional_warming_bias",
+     {"machine_names": ("8-way",), "phases": 2}),
+    ("fig6", "figure6_cpi_estimates", {"machine_names": ("8-way",)}),
+    ("fig7", "figure7_epi_estimates", {"machine_names": ("8-way",)}),
+    ("table6", "table6_runtimes", {"machine_name": "8-way"}),
+    ("fig8", "figure8_simpoint_comparison",
+     {"benchmark_names": ["gzip.syn"], "interval_size": 1500,
+      "max_clusters": 4}),
+]
+
+
+class TestGoldenEquality:
+    """Every migrated study reproduces the legacy harness output."""
+
+    @pytest.mark.parametrize("name,legacy_name,params",
+                             GOLDEN_CASES, ids=[c[0] for c in GOLDEN_CASES])
+    def test_study_matches_legacy_entry_point(self, tiny_ctx, name,
+                                              legacy_name, params):
+        report = run_study(name, tiny_ctx, params=params)
+        data = getattr(legacy, legacy_name)(tiny_ctx, **params)
+        # measure_rates times real execution, so studies that embed it
+        # (fig4, table6) can only be compared modulo that field and the
+        # report lines derived from it.
+        if name in ("fig4", "table6"):
+            assert report.data.keys() == data.keys()
+            for key in data:
+                if key in ("measured_rates", "report"):
+                    continue
+                if name == "fig4" and key == "curves":
+                    # The measured-rates curve depends on wall time.
+                    assert data["curves"].keys() == \
+                        report.data["curves"].keys()
+                    continue
+                if name == "table6" and key in ("details", "average_speedup",
+                                                "paper_scale_average_speedup"):
+                    # Runtime projections use the measured rates; only
+                    # the structure is stable across measurements.
+                    assert set(data["details"]) == set(report.data["details"])
+                    continue
+                assert report.data[key] == data[key], key
+        else:
+            assert report.data == data
+            assert report.report == data["report"]
+        assert report.rows, f"study {name} produced no tidy rows"

@@ -206,3 +206,156 @@ class TestMaintenance:
         disabled.put(built, micro.program, machine_8way)
         assert not (tmp_path / "never").exists()
         assert disabled.get(micro.program, machine_8way, 25) is None
+
+
+# ----------------------------------------------------------------------
+# BBV profile caching (the stratified strategy's phase-labeling pass)
+# ----------------------------------------------------------------------
+class TestBBVProfileCache:
+    def test_get_or_profile_builds_once_and_loads_exactly(
+            self, store, micro, monkeypatch):
+        import numpy as np
+
+        import repro.simpoint.bbv as bbv_mod
+
+        calls = []
+        real = bbv_mod.profile_bbv
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(bbv_mod, "profile_bbv", counting)
+        first = store.get_or_profile(micro.program, 500,
+                                     max_instructions=15_000)
+        second = store.get_or_profile(micro.program, 500,
+                                      max_instructions=15_000)
+        assert len(calls) == 1          # the second call loaded from disk
+        assert np.array_equal(first.vectors, second.vectors)
+        assert np.array_equal(first.interval_lengths,
+                              second.interval_lengths)
+        assert len(list(store.directory.glob("*.bbvp"))) == 1
+
+    def test_different_key_fields_miss(self, store, micro):
+        store.get_or_profile(micro.program, 500, max_instructions=15_000)
+        assert store.get_bbv_profile(micro.program, 250,
+                                     limit=15_000) is None
+        assert store.get_bbv_profile(micro.program, 500,
+                                     limit=10_000) is None
+        assert store.get_bbv_profile(micro.program, 500,
+                                     limit=15_000) is not None
+
+    def test_corrupt_profile_is_a_miss(self, store, micro):
+        path = store.put_bbv_profile(
+            store.get_or_profile(micro.program, 500, max_instructions=15_000),
+            micro.program, limit=15_000)
+        path.write_bytes(b"garbage")
+        assert store.get_bbv_profile(micro.program, 500,
+                                     limit=15_000) is None
+
+    def test_bbv_entries_skip_stale_and_corrupt_files(self, store, micro):
+        store.get_or_profile(micro.program, 500, max_instructions=15_000)
+        (store.directory / "old--bbv-i500-lfull--v0.bbvp").write_bytes(
+            b"not a profile")
+        rows = store.bbv_entries()
+        assert len(rows) == 1
+        assert rows[0]["benchmark"] == micro.program.name
+        assert rows[0]["intervals"] > 0
+
+    def test_profile_cache_field_disables_persistence(
+            self, tmp_path, monkeypatch, micro, machine_8way):
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "ckpt"))
+        from repro.api import StratifiedStrategy
+
+        strategy = StratifiedStrategy(unit_size=25, sample_size=30,
+                                      units_per_interval=4,
+                                      detailed_warming=50,
+                                      profile_cache=False)
+        outcome = strategy.run(micro.program, machine_8way, 15_000, seed=3)
+        assert outcome.final_run.units
+        assert not (tmp_path / "ckpt").exists()
+        # Same selection as a persisting run: the field is I/O-only.
+        persisting = StratifiedStrategy(unit_size=25, sample_size=30,
+                                        units_per_interval=4,
+                                        detailed_warming=50)
+        assert persisting.run(micro.program, machine_8way, 15_000,
+                              seed=3).final_run.units == \
+            outcome.final_run.units
+
+    def test_profile_cache_flag_is_io_only_identity(self):
+        """The flag cannot change estimates, so it must not change spec
+        hashes, equality, or serialized payloads (cached results stay
+        valid across the flag)."""
+        from repro.api import RunSpec, StratifiedStrategy
+
+        on = RunSpec(benchmark="gzip.syn",
+                     strategy=StratifiedStrategy(unit_size=25))
+        off = RunSpec(benchmark="gzip.syn",
+                      strategy=StratifiedStrategy(unit_size=25,
+                                                  profile_cache=False))
+        assert on.key() == off.key()
+        assert on == off
+        assert "profile_cache" not in on.strategy.to_dict()["params"]
+
+    def test_build_plan_accepts_injected_store(self, tmp_path, micro,
+                                               machine_8way):
+        from repro.api import StratifiedStrategy
+
+        strategy = StratifiedStrategy(unit_size=25, sample_size=30,
+                                      units_per_interval=4,
+                                      detailed_warming=50)
+        disabled = CheckpointStore(tmp_path / "never", enabled=False)
+        plan, _ = strategy.build_plan(micro.program, 15_000, machine_8way,
+                                      store=disabled)
+        assert plan.unit_indices
+        assert not (tmp_path / "never").exists()
+
+    def test_unwritable_store_degrades_to_in_memory_profiling(
+            self, tmp_path, micro):
+        # A *file* at the store path makes mkdir raise: the profile must
+        # still come back (computed in memory), never an OSError.
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_bytes(b"")
+        store = CheckpointStore(blocker)
+        profile = store.get_or_profile(micro.program, 500,
+                                       max_instructions=15_000)
+        assert profile.num_intervals > 0
+
+    def test_disabled_store_profiles_without_writing(self, tmp_path, micro):
+        disabled = CheckpointStore(tmp_path / "never", enabled=False)
+        profile = disabled.get_or_profile(micro.program, 500,
+                                          max_instructions=15_000)
+        assert profile.num_intervals > 0
+        assert not (tmp_path / "never").exists()
+
+    def test_gc_covers_bbv_profiles(self, store, micro):
+        store.get_or_profile(micro.program, 500, max_instructions=15_000)
+        stale = store.directory / "old--deadbeef--bbv-i500-lfull--v0.bbvp"
+        stale.write_bytes(b"stale")
+        removed = store.gc()
+        assert stale in removed
+        assert store.get_bbv_profile(micro.program, 500,
+                                     limit=15_000) is not None
+        store.gc(remove_all=True)
+        assert list(store.directory.glob("*.bbvp")) == []
+
+    def test_stratified_strategy_reuses_cached_profile(
+            self, tmp_path, monkeypatch, micro, machine_8way):
+        """Same estimates with a cold and a warm profile cache, and the
+        second run performs no profiling pass at all."""
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "ckpt"))
+        from repro.api import StratifiedStrategy
+
+        strategy = StratifiedStrategy(unit_size=25, sample_size=30,
+                                      units_per_interval=4,
+                                      detailed_warming=50)
+        cold = strategy.run(micro.program, machine_8way, 15_000, seed=3)
+        import repro.simpoint.bbv as bbv_mod
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("profile_bbv re-ran despite a cached profile")
+
+        monkeypatch.setattr(bbv_mod, "profile_bbv", forbidden)
+        warm = strategy.run(micro.program, machine_8way, 15_000, seed=3)
+        assert cold.final_run.units == warm.final_run.units
+        assert cold.info == warm.info

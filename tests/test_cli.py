@@ -147,3 +147,89 @@ class TestSweep:
         payload = json.loads(capsys.readouterr().out)
         assert len(payload) == 1
         assert payload[0]["spec"]["strategy"]["name"] == "random"
+
+
+class TestStudyCommands:
+    def test_study_ls_lists_registry(self, capsys):
+        assert main(["study", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table3" in out
+        assert "figure6_cpi_estimates" in out  # legacy shim column
+
+    def test_study_ls_json(self, capsys):
+        assert main(["study", "ls", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {row["name"] for row in payload["studies"]}
+        assert names == set(EXPERIMENTS)
+        fig6 = next(r for r in payload["studies"] if r["name"] == "fig6")
+        assert fig6["has_grid"] is True
+
+    def test_study_run_prints_report(self, capsys):
+        assert main(["study", "run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "RUU/LSQ" in out
+
+    def test_study_run_json(self, capsys):
+        assert main(["study", "run", "table3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["study"] == "table3"
+        assert payload["rows"][0]["parameter"] == "RUU/LSQ"
+        assert "report" not in payload["data"]
+
+    def test_study_report_csv(self, capsys):
+        assert main(["study", "report", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "parameter,8-way,16-way"
+
+    def test_study_report_json_to_file(self, capsys, tmp_path):
+        target = tmp_path / "rows.json"
+        assert main(["study", "report", "table3", "--format", "json",
+                     "--output", str(target)]) == 0
+        rows = json.loads(target.read_text())
+        assert rows[0]["parameter"] == "RUU/LSQ"
+        assert "wrote" in capsys.readouterr().out
+
+    def test_study_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "run", "not-a-study"])
+
+
+class TestCheckpointBatchBuild:
+    @pytest.fixture(autouse=True)
+    def isolated_ckpt_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "ckpt"))
+
+    def test_batch_build_suite_and_machines(self, capsys):
+        code = main(["checkpoint", "build", "--benchmarks", "micro.syn",
+                     "--machines", "8-way,16-way", "--unit-size", "25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Checkpoint batch build: 2 sets" in out
+        assert out.count("micro.syn") == 2
+
+    def test_single_positional_build_keeps_detailed_output(self, capsys):
+        code = main(["checkpoint", "build", "micro.syn",
+                     "--unit-size", "25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "snapshots       :" in out
+
+    def test_positional_and_batch_flags_conflict(self, capsys):
+        code = main(["checkpoint", "build", "micro.syn",
+                     "--benchmarks", "micro.syn"])
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_missing_benchmark_rejected(self, capsys):
+        assert main(["checkpoint", "build"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_unknown_batch_benchmark_rejected(self, capsys):
+        assert main(["checkpoint", "build", "--benchmarks", "nope.syn"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_unknown_batch_machine_rejected(self, capsys):
+        code = main(["checkpoint", "build", "--benchmarks", "micro.syn",
+                     "--machines", "32-way"])
+        assert code == 2
+        assert "unknown machine" in capsys.readouterr().err

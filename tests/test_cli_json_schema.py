@@ -175,10 +175,30 @@ EXPERIMENT_SCHEMA = {
 
 CHECKPOINT_LS_SCHEMA = {
     "type": "object",
-    "required": ["directory", "sets"],
+    "required": ["directory", "sets", "bbv_profiles"],
     "additionalProperties": False,
     "properties": {
         "directory": STRING,
+        "bbv_profiles": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["benchmark", "program_hash", "interval_size",
+                             "limit", "version", "intervals", "file",
+                             "size_bytes"],
+                "additionalProperties": False,
+                "properties": {
+                    "benchmark": STRING,
+                    "program_hash": STRING,
+                    "interval_size": INTEGER,
+                    "limit": {"type": ["integer", "null"]},
+                    "version": INTEGER,
+                    "intervals": INTEGER,
+                    "file": STRING,
+                    "size_bytes": INTEGER,
+                },
+            },
+        },
         "sets": {
             "type": "array",
             "items": {
@@ -287,3 +307,17 @@ class TestCheckpointLsJson:
         assert entry["benchmark"] == "gzip.syn"
         assert entry["unit_size"] == 25
         assert entry["snapshots"] > 0
+
+    def test_schema_lists_bbv_profiles(self, capsys):
+        from repro.api import CheckpointStore, resolve_benchmark
+
+        store = CheckpointStore()
+        store.get_or_profile(resolve_benchmark("gzip.syn", 0.05), 500,
+                             max_instructions=20_000)
+        payload = run_json(capsys, ["checkpoint", "ls", "--json"])
+        validate(payload, CHECKPOINT_LS_SCHEMA)
+        (profile,) = payload["bbv_profiles"]
+        assert profile["benchmark"] == "gzip.syn"
+        assert profile["interval_size"] == 500
+        assert profile["limit"] == 20_000
+        assert profile["intervals"] > 0
