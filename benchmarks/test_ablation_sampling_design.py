@@ -12,76 +12,24 @@ reference traces:
   estimates of comparable quality (neither design is systematically
   biased, and their error distributions have similar spread).
 
-This experiment runs entirely on cached reference traces (no additional
-simulation), so it doubles as a fast design-choice ablation called out
-in DESIGN.md.
+The analysis is the registered ``"ablation"`` study
+(:mod:`repro.api.studies`) — non-grid analyses are first-class in the
+Study registry, so this module only executes it through
+``run_study`` and asserts on the payload.  It runs entirely on cached
+reference traces (no additional simulation), so it doubles as a fast
+design-choice ablation called out in DESIGN.md.
 """
 
 import numpy as np
 from conftest import record_report
 
+from repro.api import run_study
 from repro.core.sampling import RandomSamplingPlan, SystematicSamplingPlan
-from repro.core.stats import intraclass_correlation
-from repro.harness.reference import unit_cpi_trace
-from repro.harness.reporting import format_table, percent
-
-
-def _systematic_errors(trace: np.ndarray, interval: int) -> list[float]:
-    true_mean = trace.mean()
-    errors = []
-    for offset in range(min(interval, 10)):
-        sample = trace[offset::interval]
-        errors.append((sample.mean() - true_mean) / true_mean)
-    return errors
-
-
-def _random_errors(trace: np.ndarray, sample_size: int, trials: int = 10
-                   ) -> list[float]:
-    true_mean = trace.mean()
-    errors = []
-    for seed in range(trials):
-        rng = np.random.default_rng(seed)
-        sample = rng.choice(trace, size=min(sample_size, len(trace)),
-                            replace=False)
-        errors.append((sample.mean() - true_mean) / true_mean)
-    return errors
 
 
 def test_ablation_systematic_vs_random_sampling(benchmark, ctx):
-    def run():
-        rows = []
-        details = {}
-        for name in ctx.suite_names:
-            reference = ctx.reference(name, "8-way")
-            trace = unit_cpi_trace(reference, ctx.unit_size)
-            population = len(trace)
-            interval = max(2, population // max(1, ctx.n_init))
-            sample_size = population // interval
-
-            delta = intraclass_correlation(trace, interval, offset_stride=1)
-            sys_errors = _systematic_errors(trace, interval)
-            rand_errors = _random_errors(trace, sample_size)
-            details[name] = {
-                "delta": delta,
-                "systematic_rmse": float(np.sqrt(np.mean(np.square(sys_errors)))),
-                "random_rmse": float(np.sqrt(np.mean(np.square(rand_errors)))),
-                "systematic_mean_error": float(np.mean(sys_errors)),
-            }
-            rows.append([
-                name, f"{delta:+.4f}",
-                percent(details[name]["systematic_mean_error"]),
-                percent(details[name]["systematic_rmse"]),
-                percent(details[name]["random_rmse"]),
-            ])
-        report = format_table(
-            ["benchmark", "intraclass corr.", "systematic mean error",
-             "systematic RMSE", "random RMSE"],
-            rows,
-            title="Ablation: systematic vs simple random sampling "
-                  f"(U={ctx.unit_size}, 8-way)")
-        return {"details": details, "report": report}
-
-    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    data = benchmark.pedantic(
+        lambda: run_study("ablation", ctx).data, rounds=1, iterations=1)
     record_report("ablation_sampling_design", data["report"])
 
     details = data["details"]

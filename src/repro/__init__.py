@@ -91,7 +91,14 @@ from repro.core import (
 )
 from repro.detailed import DetailedSimulator, MicroarchState, PipelineCounters
 from repro.energy import EnergyModel
-from repro.functional import FunctionalCore, FunctionalWarmer, measure_program_length
+from repro.functional import (
+    FastCore,
+    FunctionalCore,
+    FunctionalWarmer,
+    create_core,
+    engine_name,
+    measure_program_length,
+)
 from repro.harness import ExperimentContext, run_reference
 from repro.simpoint import run_simpoint
 from repro.workloads import SUITE_NAMES, build_suite, get_benchmark, micro_benchmark
@@ -107,6 +114,7 @@ __all__ = [
     "EnergyModel",
     "Executor",
     "ExperimentContext",
+    "FastCore",
     "FunctionalCore",
     "FunctionalWarmer",
     "MachineConfig",
@@ -134,6 +142,8 @@ __all__ = [
     "SystematicStrategy",
     "build_checkpoints",
     "build_suite",
+    "create_core",
+    "engine_name",
     "estimate_metric",
     "get_benchmark",
     "get_config",

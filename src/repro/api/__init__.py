@@ -94,17 +94,22 @@ ExperimentContext = StudyContext
 EXPERIMENT_NAMES = study_names()
 
 
-def run_study(study, ctx=None, params: dict | None = None) -> "StudyReport":
+def run_study(study, ctx=None, params: dict | None = None,
+              max_workers: int | None = None) -> "StudyReport":
     """Run a study through the context's session (module-level shortcut).
 
     Equivalent to ``ctx.session.run_study(study, ctx=ctx, params=params)``
     with ``ctx`` defaulting to the process-wide :func:`default_context`
     — so REPRO_WORKERS / REPRO_CHECKPOINTS and the shared reference
-    caches all apply.
+    caches all apply.  ``max_workers`` overrides the context's worker
+    count (and therefore REPRO_WORKERS) for this invocation only; note
+    that parallel wall-clock speedup is host-dependent (a single-core
+    host gains nothing), while estimates are bit-identical either way.
     """
     if ctx is None:
         ctx = default_context()
-    return ctx.session.run_study(study, ctx=ctx, params=params)
+    return ctx.session.run_study(study, ctx=ctx, params=params,
+                                 max_workers=max_workers)
 
 
 def run_experiment(name: str, ctx=None) -> dict:

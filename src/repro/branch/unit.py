@@ -116,6 +116,108 @@ class BranchUnit:
         if dyn.taken:
             self.btb.update(pc, dyn.next_pc)
 
+    def warm_many(self, events: list[int]) -> None:
+        """Bulk :meth:`warm`: replay a stream of branch outcomes.
+
+        ``events`` holds four ints per branch — ``kind, pc, taken,
+        target`` with kind 0 = conditional, 1 = JAL, 2 = JR, 3 = JUMP
+        (the encoding produced by the trace-compiled engine).  The state
+        evolution — all three predictor tables, global history, BTB
+        recency/contents (including the mirrored predicted-taken
+        lookup), RAS, and BTB statistics — is exactly that of calling
+        :meth:`warm` per branch; the per-structure logic is inlined with
+        tables and masks hoisted into locals because this loop runs once
+        per warmed branch.
+        """
+        predictor = self.predictor
+        bim_table = predictor.bimodal.table
+        bim_counters, bim_mask = bim_table.counters, bim_table.mask
+        gsh = predictor.gshare
+        gsh_counters, gsh_mask = gsh.table.counters, gsh.table.mask
+        history, history_mask = gsh.history, gsh.history_mask
+        meta_table = predictor.meta
+        meta_counters, meta_mask = meta_table.counters, meta_table.mask
+        taken_at = bim_table.TAKEN_THRESHOLD
+        max_value = bim_table.MAX_VALUE
+        btb = self.btb
+        btb_sets, btb_nsets, btb_assoc = btb._sets, btb.num_sets, btb.assoc
+        btb_lookups = btb_hits = 0
+        ras_stack, ras_entries = self.ras._stack, self.ras.entries
+
+        i = 0
+        count = len(events)
+        while i < count:
+            kind = events[i]
+            pc = events[i + 1]
+            taken = events[i + 2]
+            target = events[i + 3]
+            i += 4
+            if kind == 0:  # conditional: predict (+BTB lookup), then train
+                gsh_index = (pc ^ history) & gsh_mask
+                if meta_counters[pc & meta_mask] >= taken_at:
+                    predicted = gsh_counters[gsh_index] >= taken_at
+                else:
+                    predicted = bim_counters[pc & bim_mask] >= taken_at
+                if predicted:
+                    btb_set = btb_sets[pc % btb_nsets]
+                    tag = pc // btb_nsets
+                    btb_lookups += 1
+                    for j, entry in enumerate(btb_set):
+                        if entry[0] == tag:
+                            if j != len(btb_set) - 1:
+                                btb_set.append(btb_set.pop(j))
+                            btb_hits += 1
+                            break
+                # CombinedPredictor.update(pc, taken)
+                bim_index = pc & bim_mask
+                bim_pred = bim_counters[bim_index] >= taken_at
+                gsh_pred = gsh_counters[gsh_index] >= taken_at
+                if bim_pred != gsh_pred:
+                    meta_index = pc & meta_mask
+                    value = meta_counters[meta_index]
+                    if gsh_pred == taken:
+                        if value < max_value:
+                            meta_counters[meta_index] = value + 1
+                    elif value > 0:
+                        meta_counters[meta_index] = value - 1
+                value = bim_counters[bim_index]
+                if taken:
+                    if value < max_value:
+                        bim_counters[bim_index] = value + 1
+                elif value > 0:
+                    bim_counters[bim_index] = value - 1
+                value = gsh_counters[gsh_index]
+                if taken:
+                    if value < max_value:
+                        gsh_counters[gsh_index] = value + 1
+                elif value > 0:
+                    gsh_counters[gsh_index] = value - 1
+                history = ((history << 1) | taken) & history_mask
+            elif kind == 1:  # JAL: push the return address
+                if len(ras_stack) >= ras_entries:
+                    ras_stack.pop(0)
+                ras_stack.append(pc + 1)
+            elif kind == 2:  # JR: consume the predicted return
+                if ras_stack:
+                    ras_stack.pop()
+            if taken:  # every taken branch installs/refreshes its target
+                btb_set = btb_sets[pc % btb_nsets]
+                tag = pc // btb_nsets
+                for j, entry in enumerate(btb_set):
+                    if entry[0] == tag:
+                        entry[1] = target
+                        if j != len(btb_set) - 1:
+                            btb_set.append(btb_set.pop(j))
+                        break
+                else:
+                    if len(btb_set) >= btb_assoc:
+                        btb_set.pop(0)
+                    btb_set.append([tag, target])
+
+        gsh.history = history
+        btb.lookups += btb_lookups
+        btb.hits += btb_hits
+
     # ------------------------------------------------------------------
     # Statistics / state management
     # ------------------------------------------------------------------

@@ -34,8 +34,11 @@ from repro.config.machines import MachineConfig
 from repro.isa.program import Program
 
 #: Bump when snapshot layout or warm-state semantics change in a way
-#: that invalidates existing on-disk checkpoints.
-CHECKPOINT_VERSION = 1
+#: that invalidates existing on-disk checkpoints.  v2: warm
+#: microarchitectural state is delta-encoded between consecutive
+#: snapshots (full state only at the first snapshot), and sets may carry
+#: warm-aligned off-grid snapshot positions.
+CHECKPOINT_VERSION = 2
 
 
 @dataclass
@@ -45,13 +48,147 @@ class Snapshot:
     position: int                      #: Instructions retired at capture.
     pc: int
     halted: bool
+    #: Register files — full copies on base snapshots; empty on delta
+    #: snapshots (changed entries live in ``micro_delta``).
     int_regs: list = field(default_factory=list)
     fp_regs: list = field(default_factory=list)
     #: Final values of the addresses stored to during the stride that
     #: ended at ``position`` (word-aligned byte address -> value).
     mem_delta: dict = field(default_factory=dict)
-    #: ``MicroarchState.snapshot_state()`` payload.
+    #: ``MicroarchState.snapshot_state()`` payload — full warm state.
+    #: In delta-encoded sets only the first snapshot carries it.
     micro: dict = field(default_factory=dict)
+    #: Sparse warm-state and register changes against the previous
+    #: snapshot (a :func:`micro_delta` record, laid out per
+    #: :data:`DELTA_LAYOUT`); ``None`` on full snapshots.
+    micro_delta: tuple | None = None
+
+
+# ----------------------------------------------------------------------
+# Warm-state delta encoding
+# ----------------------------------------------------------------------
+# Between consecutive snapshots (one stride, a few hundred instructions)
+# only a handful of cache/TLB/BTB sets and predictor counters change, so
+# storing per-structure sparse diffs instead of full tag arrays and
+# counter tables shrinks checkpoint sets severalfold (the ROADMAP's
+# ~3-5x estimate for the predictor tables alone).  Restore materializes
+# the full state by replaying deltas forward from the set's first (full)
+# snapshot; :class:`~repro.checkpoint.store.CheckpointSet` keeps a
+# cursor so in-order restores replay each delta once.
+_PREDICTOR_TABLES = ("bimodal", "gshare", "meta")
+
+
+_HIERARCHY_STRUCTS = ("l1i", "l1d", "l2", "itlb", "dtlb")
+
+#: Positional layout of a delta record: sparse ``{index: new value}``
+#: dicts (``None`` when nothing changed) for the five hierarchy
+#: structures' sets, the three predictor counter tables, and the two
+#: register files, plus the gshare history, BTB changed-set dict, and
+#: RAS contents stored outright (tiny).  A positional tuple instead of
+#: nested keyed dicts keeps the per-snapshot framing overhead — paid
+#: hundreds of times per set — near zero.
+DELTA_LAYOUT = (*_HIERARCHY_STRUCTS, *_PREDICTOR_TABLES,
+                "gshare_history", "btb", "ras", "int_regs", "fp_regs")
+
+
+def _sparse(prev: list, curr: list) -> dict | None:
+    """Changed-entry dict of ``curr`` against same-length ``prev``."""
+    delta = {index: value for index, value in enumerate(curr)
+             if value != prev[index]}
+    return delta or None
+
+
+def micro_delta(prev: tuple[dict, list, list],
+                curr: tuple[dict, list, list]) -> tuple:
+    """Sparse encoding of state ``curr`` against ``prev``.
+
+    ``prev`` / ``curr`` are ``(warm_state, int_regs, fp_regs)`` triples
+    (warm state as captured by ``MicroarchState.snapshot_state``).
+    Cache/TLB/BTB state diffs per *set* (changed sets stored whole,
+    preserving LRU order and dirty bits); predictor counter tables and
+    the architectural register files diff per entry.  See
+    :data:`DELTA_LAYOUT` for the record layout.
+    """
+    prev_micro, prev_int, prev_fp = prev
+    curr_micro, curr_int, curr_fp = curr
+    prev_hier, curr_hier = prev_micro["hierarchy"], curr_micro["hierarchy"]
+    prev_branch, curr_branch = prev_micro["branch"], curr_micro["branch"]
+    prev_pred, curr_pred = prev_branch["predictor"], curr_branch["predictor"]
+    return (
+        *(_sparse(prev_hier[name], curr_hier[name])
+          for name in _HIERARCHY_STRUCTS),
+        *(_sparse(prev_pred[table], curr_pred[table])
+          for table in _PREDICTOR_TABLES),
+        curr_pred["gshare_history"],
+        _sparse(prev_branch["btb"], curr_branch["btb"]),
+        curr_branch["ras"],
+        _sparse(prev_int, curr_int),
+        _sparse(prev_fp, curr_fp),
+    )
+
+
+def apply_micro_delta(state: tuple[dict, list, list], delta: tuple) -> None:
+    """Apply a :func:`micro_delta` record to a full state in place.
+
+    ``state`` must be an owned ``(warm_state, int_regs, fp_regs)`` copy
+    (see :func:`copy_micro`): changed sets are replaced by references
+    into the delta, which is never mutated afterwards, and consumers
+    (``MicroarchState.restore_state``) copy on restore.
+    """
+    micro, int_regs, fp_regs = state
+    (l1i, l1d, l2, itlb, dtlb, bimodal, gshare, meta,
+     history, btb, ras, int_changes, fp_changes) = delta
+    hierarchy = micro["hierarchy"]
+    for name, changed in (("l1i", l1i), ("l1d", l1d), ("l2", l2),
+                          ("itlb", itlb), ("dtlb", dtlb)):
+        if changed:
+            sets = hierarchy[name]
+            for index, entry in changed.items():
+                sets[index] = entry
+    branch = micro["branch"]
+    predictor = branch["predictor"]
+    for table, changed in (("bimodal", bimodal), ("gshare", gshare),
+                           ("meta", meta)):
+        if changed:
+            counters = predictor[table]
+            for index, value in changed.items():
+                counters[index] = value
+    predictor["gshare_history"] = history
+    if btb:
+        btb_sets = branch["btb"]
+        for index, entry in btb.items():
+            btb_sets[index] = entry
+    branch["ras"] = ras
+    if int_changes:
+        for index, value in int_changes.items():
+            int_regs[index] = value
+    if fp_changes:
+        for index, value in fp_changes.items():
+            fp_regs[index] = value
+
+
+def copy_micro(state: dict) -> dict:
+    """A copy of a full warm state that :func:`apply_micro_delta` may own.
+
+    Only the containers the delta replay mutates are copied (outer set
+    lists, counter tables, the dicts themselves); the per-set leaf lists
+    are shared — replay replaces, never mutates, them.
+    """
+    predictor = state["branch"]["predictor"]
+    return {
+        "hierarchy": {name: list(sets)
+                      for name, sets in state["hierarchy"].items()},
+        "branch": {
+            "predictor": {
+                "bimodal": list(predictor["bimodal"]),
+                "gshare": list(predictor["gshare"]),
+                "gshare_history": predictor["gshare_history"],
+                "meta": list(predictor["meta"]),
+            },
+            "btb": list(state["branch"]["btb"]),
+            "ras": state["branch"]["ras"],
+        },
+    }
 
 
 def program_fingerprint(program: Program) -> str:

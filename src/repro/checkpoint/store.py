@@ -3,9 +3,13 @@
 One :class:`CheckpointSet` holds the snapshots of one functional-warming
 pass over one program on one machine geometry, at a fixed snapshot
 stride (a multiple of the sampling-unit size).  Sets are pickled and
-zlib-compressed into ``<checkpoint dir>/*.ckpt`` files named by the
+LZMA-compressed into ``<checkpoint dir>/*.ckpt`` files named by the
 fingerprints that key them, so any process (including forked sweep
-workers) can reuse a set built by another.
+workers) can reuse a set built by another.  Warm microarchitectural
+state is stored as sparse per-stride deltas (full state only at the
+first snapshot; see :func:`repro.checkpoint.snapshot.micro_delta`),
+which — together with LZMA's large match window — shrinks sets several
+times relative to the original full-state zlib format.
 
 Restore semantics: within a run, sampling plans enumerate units in
 ascending stream order, so restores are forward jumps.  Restoring to
@@ -19,6 +23,7 @@ stride boundary, which lies on the same deterministic trajectory.
 
 from __future__ import annotations
 
+import lzma
 import os
 import pickle
 import warnings
@@ -28,7 +33,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.config.machines import MachineConfig
+from repro.core.procedure import recommended_warming
 from repro.detailed.state import MicroarchState
+from repro.functional.engine import create_core
 from repro.functional.simulator import FunctionalCore
 from repro.functional.warming import FunctionalWarmer, warming_pass
 from repro.isa.program import Program
@@ -36,7 +43,10 @@ from repro.paths import project_cache_dir
 from repro.checkpoint.snapshot import (
     CHECKPOINT_VERSION,
     Snapshot,
+    apply_micro_delta,
+    copy_micro,
     machine_warm_fingerprint,
+    micro_delta,
     program_fingerprint,
 )
 
@@ -54,6 +64,27 @@ DEFAULT_BUILD_LIMIT = 200_000_000
 
 #: Format version of cached BBV profiles (bump on BBVProfile changes).
 BBV_PROFILE_VERSION = 1
+
+#: LZMA preset for checkpoint-set blobs.  LZMA's multi-megabyte match
+#: window spans many snapshots (zlib's 32 KiB covers barely one), which
+#: is what lets the residual redundancy across strides compress away.
+_LZMA_PRESET = 6
+
+
+def _pack(payload: dict) -> bytes:
+    """Serialize a store payload to its on-disk representation."""
+    return lzma.compress(pickle.dumps(payload, protocol=4),
+                         preset=_LZMA_PRESET)
+
+
+def _unpack(blob: bytes) -> dict:
+    """Deserialize an on-disk blob (accepting the legacy zlib format,
+    so ``entries``/``gc`` can still read sets written before v2)."""
+    try:
+        raw = lzma.decompress(blob)
+    except lzma.LZMAError:
+        raw = zlib.decompress(blob)
+    return pickle.loads(raw)
 
 
 class StaleCheckpointWarning(UserWarning):
@@ -77,6 +108,10 @@ class CheckpointSet:
 
     def __post_init__(self) -> None:
         self._positions = [snap.position for snap in self.snapshots]
+        # Delta-encoded warm state is materialized lazily; the cursor
+        # makes a run's in-order restores replay each delta only once.
+        self._micro_cursor = -1
+        self._micro_materialized: dict | None = None
 
     # ------------------------------------------------------------------
     # Identity
@@ -114,10 +149,37 @@ class CheckpointSet:
                 f"core at {current}")
         first = bisect_right(self._positions, current)
         deltas = [self.snapshots[i].mem_delta for i in range(first, index + 1)]
+        micro, int_regs, fp_regs = self._state_at(index)
         core.restore_arch(snap.position, snap.pc, snap.halted,
-                          snap.int_regs, snap.fp_regs, deltas)
-        microarch.restore_state(snap.micro)
+                          int_regs, fp_regs, deltas)
+        microarch.restore_state(micro)
         return snap.position - current
+
+    def _state_at(self, index: int) -> tuple[dict, list, list]:
+        """Warm state and register files at snapshot ``index``.
+
+        Snapshots carrying full state (the first of a delta-encoded set,
+        or every snapshot of a pre-delta set) return it directly.  For
+        delta snapshots the state is reconstructed by replaying the
+        sparse per-stride changes forward from the base snapshot; the
+        cursor caches the materialized state so a run's ascending
+        restore sequence replays each delta exactly once.
+        """
+        snap = self.snapshots[index]
+        if snap.micro_delta is None:
+            return snap.micro, snap.int_regs, snap.fp_regs
+        cursor, state = self._micro_cursor, self._micro_materialized
+        if state is None or cursor > index:
+            base = self.snapshots[0]
+            state = (copy_micro(base.micro), list(base.int_regs),
+                     list(base.fp_regs))
+            cursor = 0
+        while cursor < index:
+            cursor += 1
+            apply_micro_delta(state, self.snapshots[cursor].micro_delta)
+        self._micro_cursor = cursor
+        self._micro_materialized = state
+        return state
 
     # ------------------------------------------------------------------
     # Serialization
@@ -162,6 +224,7 @@ def build_checkpoints(
     unit_size: int,
     stride: int = DEFAULT_STRIDE,
     limit: int = DEFAULT_BUILD_LIMIT,
+    warm_align: int | None = None,
 ) -> CheckpointSet:
     """Run one functional-warming pass and capture per-stride snapshots.
 
@@ -169,29 +232,57 @@ def build_checkpoints(
     ``cold_start`` engine run does, and runs to program halt; it also
     measures the benchmark's dynamic length as a by-product, which
     checkpointed runs reuse instead of a separate measuring pass.
+
+    ``warm_align`` (a detailed-warming length W, typically the machine's
+    :func:`~repro.core.procedure.recommended_warming`) interleaves extra
+    snapshots at positions congruent to ``-W`` modulo the stride.  A
+    systematic run warms each unit from ``unit.start - W``; whenever its
+    sampling grid lands on the snapshot stride — the common suite
+    configuration — those shifted snapshots are exact restore points and
+    the residual per-unit fast-forward drops to zero.  Warm state is
+    delta-encoded between consecutive snapshots, so the extra positions
+    cost little on disk.
     """
     if unit_size <= 0:
         raise ValueError("unit_size must be positive")
     if stride <= 0:
         raise ValueError("stride must be positive")
-    core = FunctionalCore(program)
+    core = create_core(program)
     microarch = MicroarchState(machine)
     microarch.flush()
     warmer = FunctionalWarmer(microarch)
     chunk = unit_size * stride
+    extra_offsets: tuple[int, ...] = ()
+    if warm_align:
+        residue = (-int(warm_align)) % chunk
+        if residue:
+            extra_offsets = (residue,)
 
     snapshots: list[Snapshot] = []
-    for position, written in warming_pass(core, warmer, chunk, limit=limit):
+    previous: tuple[dict, list, list] | None = None
+    for position, written in warming_pass(core, warmer, chunk, limit=limit,
+                                          extra_offsets=extra_offsets):
         memory = core.state.memory
         state = core.state
+        micro_state = microarch.snapshot_state()
+        current = (micro_state, list(state.int_regs), list(state.fp_regs))
+        if previous is None:
+            micro, delta = micro_state, None
+            snap_int_regs, snap_fp_regs = current[1], current[2]
+        else:
+            micro = {}
+            snap_int_regs, snap_fp_regs = [], []
+            delta = micro_delta(previous, current)
+        previous = current
         snapshots.append(Snapshot(
             position=position,
             pc=state.pc,
             halted=state.halted,
-            int_regs=list(state.int_regs),
-            fp_regs=list(state.fp_regs),
+            int_regs=snap_int_regs,
+            fp_regs=snap_fp_regs,
             mem_delta={addr: memory[addr] for addr in written},
-            micro=microarch.snapshot_state(),
+            micro=micro,
+            micro_delta=delta,
         ))
     if not core.state.halted:
         raise RuntimeError(
@@ -258,8 +349,7 @@ class CheckpointStore:
         if cached is not None:
             return cached
         try:
-            payload = pickle.loads(zlib.decompress(path.read_bytes()))
-            ckpt = CheckpointSet.from_payload(payload)
+            ckpt = CheckpointSet.from_payload(_unpack(path.read_bytes()))
         except Exception:
             return None  # corrupt or unreadable: treat as a miss
         while len(_LOADED) >= 8:  # bound resident decoded sets
@@ -310,7 +400,7 @@ class CheckpointStore:
         if not self.enabled:
             return path
         self.directory.mkdir(parents=True, exist_ok=True)
-        blob = zlib.compress(pickle.dumps(ckpt.to_payload(), protocol=4), 6)
+        blob = _pack(ckpt.to_payload())
         tmp = path.with_suffix(f".{os.getpid()}.tmp")
         tmp.write_bytes(blob)
         tmp.replace(path)
@@ -325,13 +415,20 @@ class CheckpointStore:
         stride — every grid restores exactly.  An explicit ``stride``
         is a requirement: a stored set at a different stride is rebuilt
         (``checkpoint build --stride N`` must produce the grid it names).
+
+        Builds align extra snapshots at the machine's recommended
+        detailed-warming offset (``unit.start - W`` for stride-aligned
+        systematic grids restores with zero residual fast-forward); the
+        alignment is an optimization only, so stored sets built for a
+        different W remain valid and are reused as-is.
         """
         ckpt = self.get(program, machine, unit_size)
         if ckpt is not None and (stride is None or ckpt.stride == stride):
             return ckpt
         ckpt = build_checkpoints(program, machine, unit_size,
                                  stride=DEFAULT_STRIDE if stride is None
-                                 else stride, limit=limit)
+                                 else stride, limit=limit,
+                                 warm_align=recommended_warming(machine))
         self.put(ckpt, program, machine)
         return ckpt
 

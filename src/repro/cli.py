@@ -175,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
     study_run.add_argument("--checkpoints", action="store_true",
                            help="run the study's estimation grid with "
                                 "checkpointed functional warming")
+    study_run.add_argument("--workers", type=int, default=None,
+                           help="worker processes for the study's grid, "
+                                "overriding REPRO_WORKERS for this "
+                                "invocation (estimates are identical "
+                                "either way; wall-clock speedup is "
+                                "host-dependent)")
     study_ls = study_sub.add_parser(
         "ls", help="list the registered studies")
     study_ls.add_argument("--json", action="store_true",
@@ -189,6 +195,10 @@ def build_parser() -> argparse.ArgumentParser:
     study_report.add_argument("--checkpoints", action="store_true",
                               help="run the study's estimation grid with "
                                    "checkpointed functional warming")
+    study_report.add_argument("--workers", type=int, default=None,
+                              help="worker processes for the study's grid, "
+                                   "overriding REPRO_WORKERS for this "
+                                   "invocation")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures")
@@ -497,13 +507,17 @@ def _cmd_checkpoint_build(args: argparse.Namespace,
                                       **kwargs)
             path = store.path_for(program, machine, args.unit_size)
             if single:
+                chunk = ckpt.stride * ckpt.unit_size
+                aligned = any(snap.position % chunk
+                              for snap in ckpt.snapshots)
                 print(f"benchmark       : {benchmark_name} "
                       f"({ckpt.benchmark_length:,} instructions)")
                 print(f"machine         : {machine.name} (warm geometry "
                       f"{ckpt.machine_hash})")
                 print(f"unit size       : {ckpt.unit_size}")
                 print(f"snapshots       : {len(ckpt.snapshots)} "
-                      f"(every {ckpt.stride * ckpt.unit_size:,} instructions)")
+                      f"(base grid every {chunk:,} instructions"
+                      f"{', plus warm-aligned points' if aligned else ''})")
                 print(f"file            : {path} "
                       f"({path.stat().st_size / 1024:.0f} KiB)")
                 return 0
@@ -553,7 +567,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
     ctx, restore = _study_context(args.checkpoints)
     try:
-        report = run_study(args.name, ctx)
+        report = run_study(args.name, ctx, max_workers=args.workers)
     finally:
         restore()
 

@@ -28,7 +28,7 @@ from repro.core.sampling import SamplingPlan
 from repro.detailed.pipeline import DetailedSimulator
 from repro.detailed.state import MicroarchState
 from repro.energy.wattch import EnergyModel
-from repro.functional.simulator import FunctionalCore
+from repro.functional.engine import create_core
 from repro.functional.warming import FunctionalWarmer
 from repro.isa.program import Program
 
@@ -79,7 +79,7 @@ class SmartsEngine:
             A :class:`SmartsRunResult` with per-unit measurements and
             bookkeeping of how much work each simulation mode performed.
         """
-        core = FunctionalCore(program)
+        core = create_core(program)
         microarch = MicroarchState(self.machine)
         if cold_start:
             microarch.flush()
@@ -131,7 +131,10 @@ class SmartsEngine:
             fast_forward = warm_start - position
             if fast_forward > 0:
                 t0 = time.perf_counter()
-                executed = core.run(fast_forward, warmer)
+                if warmer is not None:
+                    executed = core.run_warmed(fast_forward, warmer)
+                else:
+                    executed = core.run(fast_forward)
                 result.seconds_fastforward += time.perf_counter() - t0
                 result.instructions_fastforwarded += executed
                 pipeline_stale = True

@@ -1,13 +1,39 @@
-"""Functional simulation: fast-forwarding and functional warming."""
+"""Functional simulation: fast-forwarding and functional warming.
+
+Two engines execute the functional stream — the per-instruction
+interpreter (:class:`FunctionalCore`) and the trace-compiled block-level
+fast path (:class:`FastCore`) — selected process-wide by the
+``REPRO_ENGINE`` environment variable through :func:`create_core`
+(default: ``fastpath``).  They are bit-identical in architectural state,
+warm microarchitectural state, and statistics.
+"""
 
 from repro.functional.simulator import INST_SIZE, FunctionalCore, measure_program_length
 from repro.functional.warming import WARMING_OVERHEAD, FunctionalWarmer, warming_pass
+from repro.functional.fastpath import CompiledProgram, FastCore, compiled_program
+from repro.functional.engine import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV,
+    ENGINES,
+    create_core,
+    engine_class,
+    engine_name,
+)
 
 __all__ = [
+    "CompiledProgram",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "ENGINE_ENV",
+    "FastCore",
     "FunctionalCore",
     "FunctionalWarmer",
     "INST_SIZE",
     "WARMING_OVERHEAD",
+    "compiled_program",
+    "create_core",
+    "engine_class",
+    "engine_name",
     "measure_program_length",
     "warming_pass",
 ]

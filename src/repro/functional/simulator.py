@@ -245,6 +245,29 @@ class FunctionalCore:
                 executed += 1
         return executed
 
+    def run_warmed(self, count: int, warmer, written: set | None = None) -> int:
+        """Execute up to ``count`` instructions under functional warming.
+
+        ``warmer`` is a :class:`repro.functional.warming.FunctionalWarmer`;
+        ``written``, when given, collects the word-aligned addresses of
+        every store executed (the checkpoint builder's per-stride memory
+        delta).  This is the entry point the trace-compiled engine
+        overrides with block-at-a-time execution and bulk warming; the
+        implementation here observes per instruction through the
+        interpreter loop (pinned to ``FunctionalCore.run``, because it
+        doubles as the partial-block fallback of the fast engine).
+        """
+        if written is None:
+            return FunctionalCore.run(self, count, warmer)
+        observe = warmer.observe
+
+        def observe_and_track(dyn) -> None:
+            observe(dyn)
+            if dyn.is_store:
+                written.add(dyn.mem_addr)
+
+        return FunctionalCore.run(self, count, observe_and_track)
+
     # ------------------------------------------------------------------
     # Checkpoint support
     # ------------------------------------------------------------------
@@ -289,13 +312,7 @@ class FunctionalCore:
 
     def run_to_completion(self, limit: int | None = None) -> int:
         """Execute until the program halts (or ``limit`` instructions)."""
-        executed = 0
-        step = self.step
-        while limit is None or executed < limit:
-            if step() is None:
-                break
-            executed += 1
-        return executed
+        return self.run(limit if limit is not None else 1 << 62)
 
 
 def measure_program_length(program: Program, limit: int = 200_000_000) -> int:
@@ -305,7 +322,9 @@ def measure_program_length(program: Program, limit: int = 200_000_000) -> int:
     sampling run (the paper takes the benchmark length as known from its
     full functional simulation).
     """
-    core = FunctionalCore(program)
+    from repro.functional.engine import create_core  # deferred: avoids cycle
+
+    core = create_core(program)
     executed = core.run_to_completion(limit=limit)
     if not core.state.halted and executed >= limit:
         raise RuntimeError(

@@ -50,9 +50,25 @@ class FunctionalWarmer:
     __call__ = observe
 
 
+def _boundaries(start: int, chunk_size: int, offsets: tuple[int, ...]):
+    """Ascending snapshot positions: the stride grid plus shifted points.
+
+    Yields ``start + i*chunk_size + r`` for every ``r`` in ``offsets``
+    (each in ``(0, chunk_size)``) interleaved with the plain stride grid
+    ``start + i*chunk_size`` — the grid :func:`warming_pass` snapshots at.
+    """
+    base = start
+    while True:
+        for offset in offsets:
+            yield base + offset
+        base += chunk_size
+        yield base
+
+
 def warming_pass(core, warmer: FunctionalWarmer, chunk_size: int,
-                 limit: int | None = None):
-    """Functionally warm ``core`` in fixed strides, yielding at boundaries.
+                 limit: int | None = None,
+                 extra_offsets: tuple[int, ...] = ()):
+    """Functionally warm ``core`` in strides, yielding at boundaries.
 
     The generator drives one functional-warming pass over the program in
     ``chunk_size``-instruction strides and yields ``(position,
@@ -63,22 +79,33 @@ def warming_pass(core, warmer: FunctionalWarmer, chunk_size: int,
     when the program halts (no partial-stride snapshot is emitted; a
     restore point past the halt would never be used) or when ``limit``
     instructions have executed.
+
+    ``extra_offsets`` adds snapshot points *within* each stride, at the
+    given offsets from the stride start (each in ``(0, chunk_size)``).
+    The checkpoint builder uses this to align snapshots with the
+    ``unit.start - W`` positions a systematic sampling run warms from,
+    so the residual per-unit fast-forward drops to zero whenever the
+    sampling grid lands on the snapshot stride (see
+    :func:`repro.checkpoint.store.build_checkpoints`).
+
+    Warming runs through :meth:`FunctionalCore.run_warmed`, which the
+    trace-compiled engine overrides with block-at-a-time execution and
+    bulk ``warm_many`` calls — this generator is the checkpoint-build
+    hot loop.
     """
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
+    offsets = tuple(sorted({int(r) for r in extra_offsets
+                            if 0 < int(r) < chunk_size}))
     written: set[int] = set()
-
-    def observe(dyn) -> None:
-        warmer.observe(dyn)
-        if dyn.is_store:
-            written.add(dyn.mem_addr)
-
     position = core.instructions_retired
-    while not core.halted and (limit is None or position < limit):
-        budget = chunk_size
+    for target in _boundaries(position, chunk_size, offsets):
+        if core.halted or (limit is not None and position >= limit):
+            break
+        budget = target - position
         if limit is not None:
             budget = min(budget, limit - position)
-        executed = core.run(budget, observe)
+        executed = core.run_warmed(budget, warmer, written)
         position += executed
         if executed < budget or executed == 0:
             break

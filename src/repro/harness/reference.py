@@ -22,7 +22,7 @@ from repro.core.estimates import ReferenceResult
 from repro.detailed.pipeline import DetailedSimulator
 from repro.detailed.state import MicroarchState
 from repro.energy.wattch import EnergyModel
-from repro.functional.simulator import FunctionalCore
+from repro.functional.engine import create_core
 from repro.isa.program import Program
 
 #: Bump when simulator behaviour changes in a way that invalidates caches.
@@ -98,7 +98,7 @@ def run_reference(
             seconds=float(data["seconds"]),
         )
 
-    core = FunctionalCore(program)
+    core = create_core(program)
     microarch = MicroarchState(machine)
     detailed = DetailedSimulator(machine, microarch)
     energy_model = EnergyModel(machine)

@@ -17,7 +17,7 @@ from repro.config.machines import MachineConfig
 from repro.core.perf_model import SimulatorRates
 from repro.detailed.pipeline import DetailedSimulator
 from repro.detailed.state import MicroarchState
-from repro.functional.simulator import FunctionalCore
+from repro.functional.engine import create_core
 from repro.functional.warming import FunctionalWarmer
 from repro.isa.program import Program
 
@@ -59,20 +59,20 @@ def measure_rates(program: Program, machine: MachineConfig,
     if instructions <= 0:
         raise ValueError("instructions must be positive")
 
-    core = FunctionalCore(program)
+    core = create_core(program)
     start = time.perf_counter()
     executed = core.run(instructions)
     functional_seconds = time.perf_counter() - start
     if executed == 0:
         raise ValueError("program executed no instructions")
 
-    core = FunctionalCore(program)
+    core = create_core(program)
     warmer = FunctionalWarmer(MicroarchState(machine))
     start = time.perf_counter()
-    executed_warm = core.run(instructions, warmer)
+    executed_warm = core.run_warmed(instructions, warmer)
     warming_seconds = time.perf_counter() - start
 
-    core = FunctionalCore(program)
+    core = create_core(program)
     microarch = MicroarchState(machine)
     detailed = DetailedSimulator(machine, microarch)
     start = time.perf_counter()

@@ -71,6 +71,190 @@ class MemoryHierarchy:
         return AccessResult(MEM, tlb_miss)
 
     # ------------------------------------------------------------------
+    # Bulk functional warming
+    # ------------------------------------------------------------------
+    def warm_many(self, events: list[int]) -> None:
+        """Replay an ordered stream of warming accesses in one call.
+
+        ``events`` holds one int per access, ``address << 2 | kind``
+        with kind 0 = instruction fetch, 1 = load, 2 = store (the
+        encoding produced by the trace-compiled engine, see
+        :mod:`repro.functional.fastpath`).  The effect — tag arrays, LRU
+        order, dirty bits, and statistics — is exactly that of calling
+        :meth:`access_instruction` / :meth:`access_data` per event; the
+        tag-lookup logic of :class:`SetAssociativeCache` and :class:`TLB`
+        is inlined here (structure state hoisted into locals, no
+        per-access :class:`AccessResult`) because this loop runs once per
+        functionally warmed instruction.
+
+        Event order is preserved, which matters: the instruction and
+        data paths share L2, so their relative miss order is visible in
+        its LRU state.
+        """
+        itlb, dtlb = self.itlb, self.dtlb
+        l1i, l1d, l2 = self.l1i, self.l1d, self.l2
+        if not (l1i.write_allocate and l1d.write_allocate
+                and l2.write_allocate):  # pragma: no cover - not built today
+            for event in events:
+                kind = event & 3
+                if kind == 0:
+                    self.access_instruction(event >> 2)
+                else:
+                    self.access_data(event >> 2, kind == 2)
+            return
+
+        itlb_sets = itlb._sets
+        itlb_nsets, itlb_page, itlb_assoc = (itlb.num_sets, itlb.page_bytes,
+                                             itlb.assoc)
+        dtlb_sets = dtlb._sets
+        dtlb_nsets, dtlb_page, dtlb_assoc = (dtlb.num_sets, dtlb.page_bytes,
+                                             dtlb.assoc)
+        l1i_sets = l1i._sets
+        l1i_nsets, l1i_block, l1i_assoc = (l1i.num_sets, l1i.block_bytes,
+                                           l1i.assoc)
+        l1d_sets = l1d._sets
+        l1d_nsets, l1d_block, l1d_assoc = (l1d.num_sets, l1d.block_bytes,
+                                           l1d.assoc)
+        l2_sets = l2._sets
+        l2_nsets, l2_block, l2_assoc = l2.num_sets, l2.block_bytes, l2.assoc
+
+        itlb_acc = itlb_miss = dtlb_acc = dtlb_miss = 0
+        l1i_acc = l1i_miss = l1i_evict = l1i_wb = 0
+        l1d_acc = l1d_miss = l1d_evict = l1d_wb = 0
+        l2_acc = l2_miss = l2_evict = l2_wb = 0
+
+        for event in events:
+            kind = event & 3
+            address = event >> 2
+            if kind == 0:
+                # I-TLB
+                vpn = address // itlb_page
+                tlb_set = itlb_sets[vpn % itlb_nsets]
+                tag = vpn // itlb_nsets
+                itlb_acc += 1
+                if tag in tlb_set:
+                    if tlb_set[-1] != tag:
+                        tlb_set.remove(tag)
+                        tlb_set.append(tag)
+                else:
+                    itlb_miss += 1
+                    if len(tlb_set) >= itlb_assoc:
+                        tlb_set.pop(0)
+                    tlb_set.append(tag)
+                # L1I
+                block = address // l1i_block
+                cache_set = l1i_sets[block % l1i_nsets]
+                tag = block // l1i_nsets
+                l1i_acc += 1
+                for i, entry in enumerate(cache_set):
+                    if entry[0] == tag:
+                        if i != len(cache_set) - 1:
+                            cache_set.append(cache_set.pop(i))
+                        break
+                else:
+                    l1i_miss += 1
+                    if len(cache_set) >= l1i_assoc:
+                        victim = cache_set.pop(0)
+                        l1i_evict += 1
+                        if victim[1]:
+                            l1i_wb += 1
+                    cache_set.append([tag, False])
+                    # L2 (read)
+                    block = address // l2_block
+                    cache_set = l2_sets[block % l2_nsets]
+                    tag = block // l2_nsets
+                    l2_acc += 1
+                    for i, entry in enumerate(cache_set):
+                        if entry[0] == tag:
+                            if i != len(cache_set) - 1:
+                                cache_set.append(cache_set.pop(i))
+                            break
+                    else:
+                        l2_miss += 1
+                        if len(cache_set) >= l2_assoc:
+                            victim = cache_set.pop(0)
+                            l2_evict += 1
+                            if victim[1]:
+                                l2_wb += 1
+                        cache_set.append([tag, False])
+            else:
+                is_write = kind == 2
+                # D-TLB
+                vpn = address // dtlb_page
+                tlb_set = dtlb_sets[vpn % dtlb_nsets]
+                tag = vpn // dtlb_nsets
+                dtlb_acc += 1
+                if tag in tlb_set:
+                    if tlb_set[-1] != tag:
+                        tlb_set.remove(tag)
+                        tlb_set.append(tag)
+                else:
+                    dtlb_miss += 1
+                    if len(tlb_set) >= dtlb_assoc:
+                        tlb_set.pop(0)
+                    tlb_set.append(tag)
+                # L1D
+                block = address // l1d_block
+                cache_set = l1d_sets[block % l1d_nsets]
+                tag = block // l1d_nsets
+                l1d_acc += 1
+                for i, entry in enumerate(cache_set):
+                    if entry[0] == tag:
+                        if i != len(cache_set) - 1:
+                            cache_set.append(cache_set.pop(i))
+                        if is_write:
+                            cache_set[-1][1] = True
+                        break
+                else:
+                    l1d_miss += 1
+                    if len(cache_set) >= l1d_assoc:
+                        victim = cache_set.pop(0)
+                        l1d_evict += 1
+                        if victim[1]:
+                            l1d_wb += 1
+                    cache_set.append([tag, is_write])
+                    # L2 (same read/write flavour as the L1D access)
+                    block = address // l2_block
+                    cache_set = l2_sets[block % l2_nsets]
+                    tag = block // l2_nsets
+                    l2_acc += 1
+                    for i, entry in enumerate(cache_set):
+                        if entry[0] == tag:
+                            if i != len(cache_set) - 1:
+                                cache_set.append(cache_set.pop(i))
+                            if is_write:
+                                cache_set[-1][1] = True
+                            break
+                    else:
+                        l2_miss += 1
+                        if len(cache_set) >= l2_assoc:
+                            victim = cache_set.pop(0)
+                            l2_evict += 1
+                            if victim[1]:
+                                l2_wb += 1
+                        cache_set.append([tag, is_write])
+
+        itlb.stats.accesses += itlb_acc
+        itlb.stats.misses += itlb_miss
+        dtlb.stats.accesses += dtlb_acc
+        dtlb.stats.misses += dtlb_miss
+        stats = l1i.stats
+        stats.accesses += l1i_acc
+        stats.misses += l1i_miss
+        stats.evictions += l1i_evict
+        stats.writebacks += l1i_wb
+        stats = l1d.stats
+        stats.accesses += l1d_acc
+        stats.misses += l1d_miss
+        stats.evictions += l1d_evict
+        stats.writebacks += l1d_wb
+        stats = l2.stats
+        stats.accesses += l2_acc
+        stats.misses += l2_miss
+        stats.evictions += l2_evict
+        stats.writebacks += l2_wb
+
+    # ------------------------------------------------------------------
     # Latency mapping
     # ------------------------------------------------------------------
     def latency(self, result: AccessResult) -> int:

@@ -58,7 +58,7 @@ class TestRegistry:
     def test_all_paper_experiments_are_registered(self):
         assert set(study_names()) == {
             "table3", "fig2", "fig3", "fig4", "fig5", "table4", "table5",
-            "fig6", "fig7", "table6", "fig8"}
+            "fig6", "fig7", "table6", "fig8", "ablation"}
         assert EXPERIMENT_NAMES == study_names()
 
     def test_get_study_unknown_raises(self):
@@ -73,7 +73,25 @@ class TestRegistry:
 
     def test_every_study_names_its_legacy_shim(self):
         for study in STUDIES.values():
-            assert hasattr(legacy, study.legacy)
+            if study.legacy:  # post-harness studies (ablation) have none
+                assert hasattr(legacy, study.legacy)
+
+    def test_ablation_study_registered_without_grid(self):
+        study = get_study("ablation")
+        assert study.grid is None
+        assert study.tidy is not None
+
+    def test_ablation_study_payload(self, tiny_ctx):
+        report = run_study("ablation", tiny_ctx)
+        details = report.data["details"]
+        assert set(details) == set(tiny_ctx.suite_names)
+        for detail in details.values():
+            assert {"delta", "systematic_rmse", "random_rmse",
+                    "systematic_mean_error"} <= set(detail)
+        assert "systematic vs simple random" in report.report
+        rows = report.rows
+        assert len(rows) == len(tiny_ctx.suite_names)
+        assert {row["benchmark"] for row in rows} == set(details)
 
     def test_duplicate_name_rejected(self):
         clone = Study(name="fig6", title="imposter",

@@ -9,22 +9,29 @@ fresh build produces exactly the estimates a from-zero run produces.
 
 from __future__ import annotations
 
+import copy
+import pickle
+import zlib
 from dataclasses import replace
 
 import pytest
 
 from repro.checkpoint import (
     CheckpointStore,
+    Snapshot,
     StaleCheckpointWarning,
     build_checkpoints,
     machine_warm_fingerprint,
     program_fingerprint,
 )
 from repro.config.machines import CacheConfig
+from repro.core.procedure import recommended_warming
 from repro.core.sampling import SystematicSamplingPlan
 from repro.core.smarts import SmartsEngine
 from repro.detailed.state import MicroarchState
+from repro.functional.engine import create_core
 from repro.functional.simulator import FunctionalCore
+from repro.functional.warming import FunctionalWarmer
 
 
 @pytest.fixture()
@@ -359,3 +366,127 @@ class TestBBVProfileCache:
         warm = strategy.run(micro.program, machine_8way, 15_000, seed=3)
         assert cold.final_run.units == warm.final_run.units
         assert cold.info == warm.info
+
+
+# ----------------------------------------------------------------------
+# Warm-state delta encoding (the size lever behind denser grids)
+# ----------------------------------------------------------------------
+def v1_format_size(ckpt) -> int:
+    """Re-encode a set the way version 1 stored it: every snapshot with
+    full warm state and register files, zlib-compressed."""
+    snapshots = []
+    for index, snap in enumerate(ckpt.snapshots):
+        micro, int_regs, fp_regs = ckpt._state_at(index)
+        snapshots.append(Snapshot(
+            position=snap.position, pc=snap.pc, halted=snap.halted,
+            int_regs=list(int_regs), fp_regs=list(fp_regs),
+            mem_delta=snap.mem_delta, micro=copy.deepcopy(micro),
+            micro_delta=None))
+    payload = {"meta": ckpt.to_payload()["meta"], "snapshots": snapshots}
+    return len(zlib.compress(pickle.dumps(payload, protocol=4), 6))
+
+
+class TestDeltaEncoding:
+    def test_first_snapshot_full_rest_delta(self, micro, machine_8way):
+        ckpt = build_checkpoints(micro.program, machine_8way, unit_size=25)
+        head, tail = ckpt.snapshots[0], ckpt.snapshots[1:]
+        assert head.micro and head.micro_delta is None
+        assert head.int_regs and head.fp_regs
+        assert tail
+        for snap in tail:
+            assert snap.micro == {} and snap.micro_delta is not None
+            assert snap.int_regs == [] and snap.fp_regs == []
+
+    def test_materialized_state_matches_serial_warming(self, micro,
+                                                       machine_8way):
+        """State at any snapshot equals warming there from scratch."""
+        ckpt = build_checkpoints(micro.program, machine_8way, unit_size=25)
+        for index in (len(ckpt.snapshots) - 1, 3, 10):  # backward jump too
+            micro_state, int_regs, fp_regs = ckpt._state_at(index)
+            core = create_core(micro.program)
+            reference = MicroarchState(machine_8way)
+            reference.flush()
+            core.run_warmed(ckpt.snapshots[index].position,
+                            FunctionalWarmer(reference))
+            assert micro_state == reference.snapshot_state()
+            assert int_regs == core.state.int_regs
+            assert fp_regs == core.state.fp_regs
+
+    def test_sets_shrink_at_least_2x_on_table6_configurations(
+            self, store, machine_8way):
+        """The acceptance criterion: on the Table 6 checkpoint subset the
+        on-disk sets are at least 2x smaller than the same snapshot grids
+        in the version-1 format (full warm state per snapshot, zlib)."""
+        from repro.workloads import get_benchmark
+
+        total_new = total_old = 0
+        for name in ("gcc.syn", "mcf.syn", "ammp.syn"):
+            program = get_benchmark(name, scale=0.1).program
+            ckpt = store.get_or_build(program, machine_8way, 50)
+            new_size = store.path_for(program, machine_8way, 50).stat().st_size
+            old_size = v1_format_size(ckpt)
+            assert old_size > 1.5 * new_size, name
+            total_new += new_size
+            total_old += old_size
+        assert total_old >= 2 * total_new
+
+
+# ----------------------------------------------------------------------
+# Warm-aligned snapshots (unit.start - W restore points)
+# ----------------------------------------------------------------------
+class TestWarmAlignment:
+    def test_aligned_build_interleaves_shifted_grid(self, micro,
+                                                    machine_8way):
+        warming = recommended_warming(machine_8way)   # 512 on the 8-way
+        chunk = 25 * 4
+        ckpt = build_checkpoints(micro.program, machine_8way, unit_size=25,
+                                 warm_align=warming)
+        residue = (-warming) % chunk
+        positions = [snap.position for snap in ckpt.snapshots]
+        assert residue in positions
+        remainders = {position % chunk for position in positions}
+        assert remainders == {0, residue}
+        # Base grid intact: the plain-stride build is a subset.
+        plain = build_checkpoints(micro.program, machine_8way, unit_size=25)
+        assert set(p.position for p in plain.snapshots) <= set(positions)
+
+    def test_zero_residual_fastforward_for_aligned_systematic_run(
+            self, micro, machine_8way):
+        """A systematic run whose grid lands on the snapshot stride
+        restores exactly at unit.start - W: nothing is fast-forwarded."""
+        warming = recommended_warming(machine_8way)
+        length = 15_000
+        ckpt = build_checkpoints(micro.program, machine_8way, unit_size=25,
+                                 warm_align=warming)
+        plan = SystematicSamplingPlan(unit_size=25, interval=32, offset=0,
+                                      detailed_warming=warming)
+        engine = SmartsEngine(machine=machine_8way, measure_energy=False)
+        serial = engine.run(micro.program, plan, length)
+        restored = engine.run(micro.program, plan, length, checkpoints=ckpt)
+        assert restored.units == serial.units
+        assert restored.checkpoint_restores > 0
+        assert restored.instructions_fastforwarded == 0
+
+    def test_get_or_build_aligns_to_recommended_warming(self, store, micro,
+                                                        machine_8way):
+        ckpt = store.get_or_build(micro.program, machine_8way, 25)
+        chunk = 25 * ckpt.stride
+        residue = (-recommended_warming(machine_8way)) % chunk
+        assert residue != 0    # the 8-way W is off this grid
+        assert any(snap.position % chunk == residue
+                   for snap in ckpt.snapshots)
+
+    def test_alignment_is_exact_for_offset_zero_only_grids(self, micro,
+                                                           machine_8way):
+        """Sanity: a misaligned interval still restores correctly (just
+        with a nonzero residual), so alignment is purely an optimization."""
+        warming = recommended_warming(machine_8way)
+        ckpt = build_checkpoints(micro.program, machine_8way, unit_size=25,
+                                 warm_align=warming)
+        plan = SystematicSamplingPlan(unit_size=25, interval=30, offset=1,
+                                      detailed_warming=warming)
+        engine = SmartsEngine(machine=machine_8way, measure_energy=False)
+        serial = engine.run(micro.program, plan, 15_000)
+        restored = engine.run(micro.program, plan, 15_000, checkpoints=ckpt)
+        assert restored.units == serial.units
+        assert restored.checkpoint_restores > 0

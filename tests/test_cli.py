@@ -31,8 +31,16 @@ class TestParser:
 
     def test_experiment_choices_cover_all_tables_and_figures(self):
         expected = {"table3", "table4", "table5", "table6",
-                    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"}
+                    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                    "ablation"}
         assert set(EXPERIMENTS) == expected
+
+    def test_study_run_workers_flag(self):
+        args = build_parser().parse_args(["study", "run", "table3",
+                                          "--workers", "2"])
+        assert args.workers == 2
+        assert build_parser().parse_args(
+            ["study", "run", "table3"]).workers is None
 
 
 class TestCommands:
@@ -188,6 +196,12 @@ class TestStudyCommands:
         rows = json.loads(target.read_text())
         assert rows[0]["parameter"] == "RUU/LSQ"
         assert "wrote" in capsys.readouterr().out
+
+    def test_study_run_with_workers_override(self, capsys):
+        """--workers threads through run_study (inert for gridless
+        studies, but the invocation path must accept it)."""
+        assert main(["study", "run", "table3", "--workers", "2"]) == 0
+        assert "Table 3" in capsys.readouterr().out
 
     def test_study_unknown_name_rejected(self):
         with pytest.raises(SystemExit):

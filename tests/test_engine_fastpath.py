@@ -1,0 +1,365 @@
+"""Golden equivalence of the trace-compiled engine against the interpreter.
+
+The correctness contract of ``repro.functional.fastpath`` is exactness:
+for any program and any execution schedule, the block-compiled engine
+must leave *bit-identical* architectural state, warm microarchitectural
+state (caches, TLBs, predictor tables, history, BTB, RAS — LRU order and
+statistics included), and therefore bit-identical paper estimates
+(``RunResult.estimates_dict()``) compared to the per-instruction
+interpreter.  These tests pin that contract at every layer:
+
+* the bulk ``warm_many`` entry points against their per-access
+  specifications,
+* plain and warmed execution (including partial-block fallbacks and
+  ``max_instructions`` budgets),
+* checkpoint builds,
+* full estimation runs in the shape of the fig6/fig7 suite grids and the
+  table5 bias measurement, across strategies and metrics.
+
+They also guard the *count-based* performance contract CI relies on
+(dispatch/closure-call counts, never wall-clock — the CI box is
+single-core): fastpath execution must retire the overwhelming majority
+of instructions through compiled blocks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import RunSpec, StratifiedStrategy, SystematicStrategy, run_spec
+from repro.branch.unit import BranchUnit
+from repro.checkpoint import build_checkpoints
+from repro.config.machines import BranchConfig
+from repro.detailed.state import MicroarchState
+from repro.functional.engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    create_core,
+    engine_name,
+)
+from repro.functional.fastpath import (
+    BRANCH_COND,
+    BRANCH_JAL,
+    BRANCH_JR,
+    BRANCH_JUMP,
+    EVENT_IFETCH,
+    EVENT_LOAD,
+    EVENT_STORE,
+    FastCore,
+    compiled_program,
+)
+from repro.functional.simulator import FunctionalCore
+from repro.functional.warming import FunctionalWarmer
+from repro.harness.bias import measure_bias
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass, Opcode
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(autouse=True)
+def isolated_stores(tmp_path, monkeypatch):
+    """Keep checkpoint and run caches out of the repository."""
+    monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "ckpt"))
+    monkeypatch.setenv("REPRO_RUN_CACHE_DIR", str(tmp_path / "runs"))
+
+
+def small_program(name: str):
+    if name == "micro.syn":
+        from repro.workloads import micro_benchmark
+
+        return micro_benchmark().program
+    return get_benchmark(name, scale=0.05).program
+
+
+#: Workloads spanning the behaviours the suite exercises: integer loops,
+#: pointer chasing, FP kernels, and branch-heavy control flow.
+WORKLOADS = ("micro.syn", "gzip.syn", "mcf.syn", "ammp.syn", "gcc.syn")
+
+
+# ----------------------------------------------------------------------
+# Engine selection
+# ----------------------------------------------------------------------
+class TestEngineSelection:
+    def test_default_is_fastpath(self, monkeypatch, micro):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert DEFAULT_ENGINE == "fastpath"
+        assert engine_name() == "fastpath"
+        assert isinstance(create_core(micro.program), FastCore)
+
+    def test_env_selects_interpreter(self, monkeypatch, micro):
+        monkeypatch.setenv("REPRO_ENGINE", "interp")
+        core = create_core(micro.program)
+        assert type(core) is FunctionalCore
+
+    def test_unknown_engine_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "turbo")
+        with pytest.raises(ValueError, match="unknown functional engine"):
+            engine_name()
+
+    def test_explicit_engine_overrides_env(self, monkeypatch, micro):
+        monkeypatch.setenv("REPRO_ENGINE", "interp")
+        assert isinstance(create_core(micro.program, engine="fastpath"),
+                          FastCore)
+
+    def test_registry_names(self):
+        assert set(ENGINES) == {"interp", "fastpath"}
+
+    def test_compilation_memoized_per_program(self, micro):
+        assert compiled_program(micro.program) is \
+            compiled_program(micro.program)
+
+
+# ----------------------------------------------------------------------
+# Bulk warmers against their per-access specifications
+# ----------------------------------------------------------------------
+class TestWarmManyEquivalence:
+    def test_hierarchy_warm_many_matches_per_access(self, machine_8way):
+        """A random interleaved I/D stream drives both paths identically."""
+        rng = random.Random(7)
+        reference = MemoryHierarchy(machine_8way)
+        bulk = MemoryHierarchy(machine_8way)
+        events = []
+        for _ in range(4000):
+            kind = rng.choice((EVENT_IFETCH, EVENT_IFETCH, EVENT_LOAD,
+                               EVENT_STORE))
+            # Small and large strides: hits, conflict misses, TLB churn.
+            address = rng.randrange(0, 1 << 17) & ~7
+            events.append(address << 2 | kind)
+            if kind == EVENT_IFETCH:
+                reference.access_instruction(address)
+            else:
+                reference.access_data(address, kind == EVENT_STORE)
+        bulk.warm_many(events)
+        assert bulk.snapshot_state() == reference.snapshot_state()
+        assert bulk.stats_summary() == reference.stats_summary()
+        for name in ("l1i", "l1d", "l2"):
+            ref_stats = getattr(reference, name).stats
+            new_stats = getattr(bulk, name).stats
+            assert new_stats.evictions == ref_stats.evictions
+            assert new_stats.writebacks == ref_stats.writebacks
+
+    def test_branch_warm_many_matches_warm(self, machine_8way):
+        """Random conditional/JAL/JR/JUMP streams train identically."""
+        rng = random.Random(11)
+        config = machine_8way.branch
+        reference = BranchUnit(config)
+        bulk = BranchUnit(config)
+        kinds = {BRANCH_COND: Opcode.BEQ, BRANCH_JAL: Opcode.JAL,
+                 BRANCH_JR: Opcode.JR, BRANCH_JUMP: Opcode.JUMP}
+        events = []
+        for _ in range(3000):
+            kind = rng.choice((BRANCH_COND, BRANCH_COND, BRANCH_COND,
+                               BRANCH_JAL, BRANCH_JR, BRANCH_JUMP))
+            pc = rng.randrange(0, 400)
+            taken = 1 if kind != BRANCH_COND or rng.random() < 0.6 else 0
+            target = rng.randrange(0, 400)
+            events.extend((kind, pc, taken, target))
+            reference.warm(DynInst(
+                seq=0, pc=pc, op=kinds[kind], opclass=OpClass.BRANCH,
+                rd=None, srcs=(), mem_addr=None, is_load=False,
+                is_store=False, is_branch=True,
+                is_conditional=kind == BRANCH_COND,
+                taken=bool(taken), next_pc=target if taken else pc + 1))
+        # Conditional not-taken events carry the fall-through target,
+        # exactly as the compiled blocks emit them.
+        for i in range(0, len(events), 4):
+            if events[i] == BRANCH_COND and not events[i + 2]:
+                events[i + 3] = events[i + 1] + 1
+        bulk.warm_many(events)
+        assert bulk.warm_state() == reference.warm_state()
+        assert bulk.btb.lookups == reference.btb.lookups
+        assert bulk.btb.hits == reference.btb.hits
+
+    def test_small_btb_geometry(self):
+        """Eviction-heavy BTB and shallow RAS still match exactly."""
+        config = BranchConfig(table_entries=64, history_bits=4,
+                              btb_entries=4, btb_assoc=2, ras_entries=2)
+        rng = random.Random(3)
+        reference, bulk = BranchUnit(config), BranchUnit(config)
+        events = []
+        for _ in range(1000):
+            kind = rng.choice((BRANCH_COND, BRANCH_JAL, BRANCH_JR))
+            pc = rng.randrange(0, 64)
+            taken = 1 if kind != BRANCH_COND or rng.random() < 0.5 else 0
+            target = rng.randrange(0, 64)
+            if kind == BRANCH_COND and not taken:
+                target = pc + 1
+            events.extend((kind, pc, taken, target))
+            op = {BRANCH_COND: Opcode.BNE, BRANCH_JAL: Opcode.JAL,
+                  BRANCH_JR: Opcode.JR}[kind]
+            reference.warm(DynInst(
+                seq=0, pc=pc, op=op, opclass=OpClass.BRANCH, rd=None,
+                srcs=(), mem_addr=None, is_load=False, is_store=False,
+                is_branch=True, is_conditional=kind == BRANCH_COND,
+                taken=bool(taken), next_pc=target))
+        bulk.warm_many(events)
+        assert bulk.warm_state() == reference.warm_state()
+
+
+# ----------------------------------------------------------------------
+# Execution equivalence
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", WORKLOADS)
+class TestExecutionEquivalence:
+    def test_plain_run_bit_identical(self, name):
+        program = small_program(name)
+        interp = FunctionalCore(program)
+        fast = FastCore(program)
+        assert interp.run_to_completion() == fast.run_to_completion()
+        assert interp.state == fast.state
+        assert interp.instructions_retired == fast.instructions_retired
+
+    def test_warmed_run_bit_identical(self, name, machine_8way):
+        program = small_program(name)
+        states, stats, arches, written_sets = [], [], [], []
+        for engine in ("interp", "fastpath"):
+            core = create_core(program, engine=engine)
+            microarch = MicroarchState(machine_8way)
+            microarch.flush()
+            warmer = FunctionalWarmer(microarch)
+            written: set[int] = set()
+            core.run_warmed(1 << 60, warmer, written)
+            states.append(microarch.snapshot_state())
+            stats.append(microarch.stats_summary())
+            arches.append(core.state)
+            written_sets.append(written)
+        assert states[0] == states[1]
+        assert stats[0] == stats[1]
+        assert arches[0] == arches[1]
+        assert written_sets[0] == written_sets[1]
+
+    def test_chunked_budgets_bit_identical(self, name, machine_8way):
+        """Odd budgets force mid-block stops onto the interpreter path."""
+        program = small_program(name)
+        interp = FunctionalCore(program)
+        fast = FastCore(program)
+        warm_i = FunctionalWarmer(MicroarchState(machine_8way))
+        warm_f = FunctionalWarmer(MicroarchState(machine_8way))
+        for chunk in (1, 7, 2, 137, 13, 999, 3, 20_000):
+            assert interp.run_warmed(chunk, warm_i) == \
+                fast.run_warmed(chunk, warm_f)
+            assert interp.state == fast.state
+            assert interp.instructions_retired == fast.instructions_retired
+        assert warm_i.microarch.snapshot_state() == \
+            warm_f.microarch.snapshot_state()
+        assert warm_i.instructions_warmed == warm_f.instructions_warmed
+
+    def test_max_instructions_budget(self, name):
+        program = small_program(name)
+        interp = FunctionalCore(program, max_instructions=1234)
+        fast = FastCore(program, max_instructions=1234)
+        assert interp.run(10_000) == fast.run(10_000)
+        assert interp.halted == fast.halted
+        assert interp.state == fast.state
+
+    def test_checkpoint_build_identical(self, name, machine_8way,
+                                        monkeypatch):
+        program = small_program(name)
+        built = []
+        for engine in ("interp", "fastpath"):
+            monkeypatch.setenv("REPRO_ENGINE", engine)
+            built.append(build_checkpoints(program, machine_8way,
+                                           unit_size=25))
+        interp_ckpt, fast_ckpt = built
+        assert interp_ckpt.benchmark_length == fast_ckpt.benchmark_length
+        assert [s.position for s in interp_ckpt.snapshots] == \
+            [s.position for s in fast_ckpt.snapshots]
+        for left, right in zip(interp_ckpt.snapshots, fast_ckpt.snapshots):
+            assert left.pc == right.pc
+            assert left.int_regs == right.int_regs
+            assert left.fp_regs == right.fp_regs
+            assert left.mem_delta == right.mem_delta
+            assert left.micro == right.micro
+            assert left.micro_delta == right.micro_delta
+
+
+# ----------------------------------------------------------------------
+# Estimate-level golden equivalence (the fig6/fig7/table5 shapes)
+# ----------------------------------------------------------------------
+def _estimation_specs() -> list[RunSpec]:
+    """The suite-grid shapes: fig6 (CPI, both machines), fig7 (EPI),
+    no-functional-warming, and a stratified design."""
+    systematic = SystematicStrategy(unit_size=25, n_init=60, max_rounds=2,
+                                    detailed_warming=50)
+    return [
+        RunSpec(benchmark="micro.syn", machine="8-way",
+                strategy=systematic, metric="cpi"),
+        RunSpec(benchmark="micro.syn", machine="16-way",
+                strategy=systematic, metric="cpi"),
+        RunSpec(benchmark="micro.syn", machine="8-way",
+                strategy=systematic, metric="epi"),
+        RunSpec(benchmark="gzip.syn", machine="8-way", scale=0.05,
+                strategy=systematic, metric="cpi", checkpoints="auto"),
+        RunSpec(benchmark="micro.syn", machine="8-way",
+                strategy=SystematicStrategy(
+                    unit_size=25, n_init=40, max_rounds=1,
+                    detailed_warming=50, functional_warming=False)),
+        RunSpec(benchmark="micro.syn", machine="8-way", seed=3,
+                strategy=StratifiedStrategy(
+                    unit_size=25, sample_size=60, units_per_interval=10,
+                    detailed_warming=50)),
+    ]
+
+
+def test_estimates_bit_identical_across_engines(monkeypatch):
+    """``RunResult.estimates_dict()`` is engine-independent, per spec."""
+    payloads = {}
+    for engine in ("interp", "fastpath"):
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        payloads[engine] = [run_spec(spec).estimates_dict()
+                            for spec in _estimation_specs()]
+    assert payloads["interp"] == payloads["fastpath"]
+
+
+def test_bias_measurement_bit_identical(monkeypatch, micro, machine_8way,
+                                        micro_reference):
+    """The table5 bias measurement is engine-independent."""
+    results = {}
+    for engine in ("interp", "fastpath"):
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        measurement = measure_bias(
+            micro.program, machine_8way, micro_reference,
+            unit_size=25, target_sample_size=60, detailed_warming=50,
+            functional_warming=True, phases=2)
+        results[engine] = (measurement.bias, measurement.phase_errors)
+    assert results["interp"] == results["fastpath"]
+
+
+# ----------------------------------------------------------------------
+# Count-based performance guard (no wall-clock: single-core CI)
+# ----------------------------------------------------------------------
+class TestDispatchCounts:
+    def test_fastpath_executes_blocks_not_instructions(self, machine_8way):
+        program = small_program("gzip.syn")
+        core = FastCore(program)
+        warmer = FunctionalWarmer(MicroarchState(machine_8way))
+        executed = core.run_warmed(1 << 60, warmer)
+        assert executed > 10_000
+        block_instructions = executed - core.fallback_instructions
+        # Virtually everything retires through compiled blocks...
+        assert block_instructions / executed > 0.95
+        # ...and each closure call covers several instructions, so the
+        # dispatch count (closure calls + stepped instructions) is a
+        # small fraction of the per-instruction dispatch the interpreter
+        # would perform.
+        dispatches = core.blocks_executed + core.fallback_instructions
+        assert dispatches < 0.6 * executed
+
+    def test_fastforward_budgets_stay_block_dominated(self, machine_8way):
+        """The SMARTS schedule (short warm/measure windows between
+        fast-forwards) must not degrade into per-instruction stepping."""
+        program = small_program("mcf.syn")
+        core = FastCore(program)
+        warmer = FunctionalWarmer(MicroarchState(machine_8way))
+        executed = 0
+        while True:
+            advanced = core.run_warmed(450, warmer)  # k*U - W - U shape
+            executed += advanced
+            if advanced < 450:
+                break
+            executed += core.run(75)  # detailed window stand-in
+        assert executed > 10_000
+        assert core.fallback_instructions / executed < 0.35
