@@ -69,6 +69,7 @@ from repro.api.resultset import (
     result_row,
     rows_from_csv,
     rows_to_csv,
+    to_jsonable,
 )
 from repro.api.study import (
     STUDIES,
@@ -206,4 +207,5 @@ __all__ = [
     "strategy_from_dict",
     "study_names",
     "suite_specs",
+    "to_jsonable",
 ]

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
@@ -142,16 +144,66 @@ class ResultCache:
         return result if result.spec == spec else None
 
     def put(self, result: RunResult) -> None:
+        """Persist a result atomically; never raises on cache I/O failure.
+
+        Readers can only ever observe a complete entry: the payload is
+        written to a per-writer tmp file, flushed and fsynced, then
+        renamed over the final path with ``os.replace``.  Concurrent
+        writers of the same spec each rename their own file (last one
+        wins) instead of racing on a shared tmp path — which is what
+        lets many server worker threads/processes share one cache
+        directory.  An unwritable or full cache degrades to a warning:
+        the computed result is still returned to the caller, it is just
+        not memoized.
+        """
         if not self.enabled:
             return
-        self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path(result.spec)
-        # Per-process tmp name: concurrent writers of the same spec each
-        # rename their own file atomically (last one wins) instead of
-        # racing on a shared tmp path.
-        tmp = path.with_suffix(f".{os.getpid()}.tmp")
-        tmp.write_text(result.to_json())
-        tmp.replace(path)
+        tmp = path.with_suffix(f".{os.getpid()}-{threading.get_ident()}.tmp")
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w") as handle:
+                handle.write(result.to_json())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            warnings.warn(f"result cache write to {path} failed ({exc}); "
+                          f"continuing without caching", RuntimeWarning,
+                          stacklevel=2)
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def stats(self) -> dict:
+        """Entry counts and on-disk footprint, for service introspection.
+
+        ``entries`` counts current-version result files; ``stale_files``
+        everything else in the directory (older cache versions, orphaned
+        tmp files from killed writers).
+        """
+        entries = stale = size_bytes = 0
+        if self.directory.is_dir():
+            for item in self.directory.iterdir():
+                if not item.is_file():
+                    continue
+                try:
+                    size_bytes += item.stat().st_size
+                except OSError:
+                    continue
+                if item.name.endswith(f"--v{CACHE_VERSION}.json"):
+                    entries += 1
+                else:
+                    stale += 1
+        return {
+            "directory": str(self.directory),
+            "enabled": self.enabled,
+            "version": CACHE_VERSION,
+            "entries": entries,
+            "stale_files": stale,
+            "size_bytes": size_bytes,
+        }
 
 
 # ----------------------------------------------------------------------

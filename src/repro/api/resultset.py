@@ -277,3 +277,42 @@ def rows_from_csv(payload: str) -> list[dict]:
     """Parse :func:`rows_to_csv` output back into typed flat dicts."""
     reader = csv.DictReader(io.StringIO(payload))
     return [{k: _parse_cell(v) for k, v in row.items()} for row in reader]
+
+
+# ----------------------------------------------------------------------
+# JSON coercion (shared by the CLI's --json paths and the server)
+# ----------------------------------------------------------------------
+def to_jsonable(value):
+    """Recursively convert experiment data into JSON-encodable values.
+
+    Study payloads mix plain dicts with numpy scalars/arrays, tuples,
+    and dataclasses; this flattens all of them so ``json.dumps`` on the
+    output never raises.  Tuple dictionary keys become ``"a/b"`` strings.
+    """
+    import dataclasses
+
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {_key_str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return to_jsonable(dataclasses.asdict(value))
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _key_str(key):
+    if isinstance(key, str):
+        return key
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)

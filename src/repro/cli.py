@@ -23,6 +23,12 @@ Python:
   checkpoint store that ``--checkpoints`` runs restore from;
   ``build --benchmarks all --machines 8-way,16-way`` batch-builds the
   whole suite for warm-up.
+* ``repro-smarts serve`` — run the simulation-as-a-service HTTP job
+  server (``repro.server``): submit RunSpecs and studies as JSON over
+  REST, poll jobs, fetch results; ``--host/--port/--workers/
+  --queue-depth/--job-timeout`` tune the service.
+* ``repro-smarts jobs ls|gc`` — inspect and clean the on-disk ``.jobs/``
+  records the server persists across restarts.
 
 Every command accepts ``--machine {8-way,16-way}`` (the scaled Table 3
 configurations) and ``--scale`` to control benchmark length.
@@ -59,6 +65,7 @@ from repro.api import (
     run_study,
     get_benchmark,
     suite_specs,
+    to_jsonable,
 )
 
 
@@ -242,38 +249,40 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--max-age-days", type=float, default=None,
                     help="also remove sets older than this many days")
 
+    serve = sub.add_parser(
+        "serve", help="run the simulation-as-a-service HTTP job server")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="bind port (0 picks an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="background job worker threads")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="max queued jobs before submissions get 429")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       help="per-job timeout in seconds (default: none)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="bypass the shared run-result cache (every "
+                            "submission simulates)")
+
+    jobs = sub.add_parser(
+        "jobs", help="inspect and clean the server's on-disk job records")
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+    jobs_ls = jobs_sub.add_parser("ls", help="list persisted job records")
+    jobs_ls.add_argument("--json", action="store_true",
+                         help="emit the job records as JSON")
+    jobs_gc = jobs_sub.add_parser(
+        "gc", help="remove finished job records (and stray tmp files)")
+    jobs_gc.add_argument("--max-age-days", type=float, default=None,
+                         help="remove done/failed records older than this")
+    jobs_gc.add_argument("--all", action="store_true",
+                         help="remove every job record")
+
     return parser
 
 
-def _to_jsonable(value):
-    """Recursively convert experiment data into JSON-encodable values."""
-    import dataclasses
-
-    import numpy as np
-
-    if isinstance(value, dict):
-        return {_key_str(k): _to_jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_to_jsonable(v) for v in value]
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return _to_jsonable(dataclasses.asdict(value))
-    if isinstance(value, np.ndarray):
-        return value.tolist()
-    if isinstance(value, (np.integer,)):
-        return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return str(value)
-
-
-def _key_str(key):
-    if isinstance(key, str):
-        return key
-    if isinstance(key, tuple):
-        return "/".join(str(part) for part in key)
-    return str(key)
+#: JSON coercion for study payloads (shared with the server layer).
+_to_jsonable = to_jsonable
 
 
 # ----------------------------------------------------------------------
@@ -612,6 +621,47 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import ServerConfig, serve
+
+    return serve(ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        job_timeout=args.job_timeout,
+        use_cache=not args.no_cache,
+    ))
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.server import JobStore
+
+    store = JobStore()
+    if args.jobs_command == "ls":
+        records = store.load_all()
+        if args.json:
+            print(json.dumps({"directory": str(store.directory),
+                              "jobs": [r.describe() for r in records]},
+                             indent=2, sort_keys=True))
+            return 0
+        rows = [[r.id, r.kind, r.status,
+                 r.payload.get("benchmark") or r.payload.get("study", ""),
+                 "yes" if r.cached else "-",
+                 "-" if r.error is None else r.error[:40]]
+                for r in records]
+        print(format_table(
+            ["id", "kind", "status", "target", "cached", "error"], rows,
+            title=f"Job store: {store.directory} ({len(records)} records)"))
+        return 0
+    # gc
+    removed = store.gc(max_age_days=args.max_age_days, remove_all=args.all)
+    print(f"removed {len(removed)} file(s) from {store.directory}")
+    for path in removed:
+        print(f"  {path.name}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -633,6 +683,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_study(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "jobs":
+            return _cmd_jobs(args)
     except BrokenPipeError:
         # Downstream consumer (e.g. `... | head`) closed the pipe; point
         # stdout at devnull so interpreter shutdown doesn't re-raise.

@@ -1,0 +1,178 @@
+"""A small client for the repro.server REST API.
+
+Two transports behind one interface:
+
+* ``ReproClient("http://host:port")`` — real HTTP via ``urllib``
+  (stdlib only), for talking to a ``repro-smarts serve`` process.
+* ``ReproClient(app=create_app(...))`` — in-process WSGI: requests are
+  dispatched straight into the application object, no socket involved.
+  This is what the endpoint tests and CI smoke use.
+
+The submit/wait/fetch flow::
+
+    from repro.server import create_app
+    from repro.server.client import ReproClient
+
+    client = ReproClient(app=create_app())
+    job = client.submit_run({"benchmark": "gcc.syn", "scale": 0.2})
+    client.wait(job["id"])
+    estimates = client.run_result(job["id"])["result"]
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+class ServerError(Exception):
+    """A non-2xx response; carries the decoded error payload."""
+
+    def __init__(self, status: int, payload):
+        self.status = status
+        self.payload = payload
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class _HTTPTransport:
+    def __init__(self, base_url: str):
+        self.base_url = base_url.rstrip("/")
+
+    def request(self, method: str, path: str, body: bytes | None):
+        req = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"} if body else {})
+        try:
+            with urllib.request.urlopen(req) as response:
+                return (response.status,
+                        response.headers.get("Content-Type", ""),
+                        response.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.headers.get("Content-Type", ""), exc.read()
+
+
+class _WSGITransport:
+    def __init__(self, app):
+        self.app = app
+
+    def request(self, method: str, path: str, body: bytes | None):
+        if "?" in path:
+            path, _, query = path.partition("?")
+        else:
+            query = ""
+        body = body or b""
+        environ = {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": path,
+            "QUERY_STRING": query,
+            "CONTENT_LENGTH": str(len(body)),
+            "CONTENT_TYPE": "application/json",
+            "wsgi.input": io.BytesIO(body),
+            "wsgi.errors": io.StringIO(),
+            "wsgi.url_scheme": "http",
+            "SERVER_NAME": "in-process",
+            "SERVER_PORT": "0",
+        }
+        captured: dict = {}
+
+        def start_response(status, headers):
+            captured["status"] = int(status.split(" ", 1)[0])
+            captured["headers"] = dict(headers)
+
+        chunks = self.app(environ, start_response)
+        payload = b"".join(chunks)
+        return (captured["status"],
+                captured["headers"].get("Content-Type", ""), payload)
+
+
+class ReproClient:
+    """Submit jobs, poll them, and fetch results from a repro server."""
+
+    def __init__(self, base_url: str | None = None, app=None,
+                 poll_interval: float = 0.05):
+        if (base_url is None) == (app is None):
+            raise ValueError("give exactly one of base_url or app")
+        self._transport = (_HTTPTransport(base_url) if base_url is not None
+                           else _WSGITransport(app))
+        self.poll_interval = poll_interval
+
+    # ------------------------------------------------------------------
+    # Raw request plumbing
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str, payload=None):
+        """One request; JSON responses decode, errors raise ServerError."""
+        body = (json.dumps(payload).encode() if payload is not None
+                else None)
+        status, content_type, raw = self._transport.request(
+            method, path, body)
+        if content_type.startswith("application/json"):
+            decoded = json.loads(raw) if raw else None
+        else:
+            decoded = raw.decode()
+        if status >= 400:
+            raise ServerError(status, decoded)
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit_run(self, spec) -> dict:
+        """Submit a run; ``spec`` is a RunSpec or its dict form."""
+        payload = spec.to_dict() if hasattr(spec, "to_dict") else spec
+        return self.request("POST", "/runs", payload)
+
+    def submit_study(self, study: str, params: dict | None = None) -> dict:
+        return self.request("POST", "/studies",
+                            {"study": study, "params": params or {}})
+
+    # ------------------------------------------------------------------
+    # Polling and results
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> dict:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def jobs(self, status: str | None = None) -> list[dict]:
+        path = "/jobs" + (f"?status={status}" if status else "")
+        return self.request("GET", path)["jobs"]
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> dict:
+        """Poll until the job finishes; raises on timeout or failure."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["status"] == "done":
+                return record
+            if record["status"] == "failed":
+                raise ServerError(409, {"error": record["error"],
+                                        "job": record})
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['status']} after "
+                    f"{timeout:g}s")
+            time.sleep(self.poll_interval)
+
+    def run_result(self, job_id: str, view: str = "estimates") -> dict:
+        return self.request("GET", f"/runs/{job_id}/result?view={view}")
+
+    def study_rows(self, job_id: str, fmt: str = "json"):
+        payload = self.request("GET", f"/studies/{job_id}/rows?format={fmt}")
+        return payload if fmt == "csv" else payload["rows"]
+
+    def study_report(self, job_id: str) -> str:
+        return self.request("GET", f"/studies/{job_id}/report")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def studies(self) -> list[dict]:
+        return self.request("GET", "/studies")["studies"]
+
+    def cache_stats(self) -> dict:
+        return self.request("GET", "/cache/stats")

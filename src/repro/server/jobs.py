@@ -1,0 +1,307 @@
+"""The background job queue: worker threads draining into a Session.
+
+Submissions enter a bounded :class:`queue.Queue`; worker threads pull
+job ids off it and execute through the shared
+:class:`~repro.api.session.Session` — which means every run goes
+through the :class:`~repro.api.executor.ResultCache`, turning the
+spec-hash cache into a cross-client memo: the second client to submit
+an identical spec is answered without simulating.
+
+Design points:
+
+* **Idempotent submission.**  Job ids are content hashes (see
+  :mod:`repro.server.store`); resubmitting work that is queued, running,
+  or done returns the existing record.  A *failed* job resubmits as a
+  fresh attempt under the same id.
+* **Bounded depth.**  A full queue raises :class:`QueueFull`, which the
+  route layer renders as HTTP 429 — backpressure instead of unbounded
+  memory growth.
+* **Per-job timeout.**  Jobs execute on an inner daemon thread when a
+  timeout is configured; a job that exceeds it is marked failed and the
+  worker moves on to the next job (the abandoned computation finishes
+  in the background and may still populate the result cache — Python
+  threads cannot be killed, so this protects queue *throughput*, not
+  CPU).
+* **Graceful shutdown.**  :meth:`shutdown` stops intake (submissions
+  raise :class:`QueueClosed` → HTTP 503), lets in-flight jobs finish,
+  and joins the workers.
+* **Restart recovery.**  On construction the queue reloads the job
+  store; jobs that were queued or running when the previous process
+  died are re-enqueued (their ``restarts`` counter ticks up), finished
+  jobs stay served from their records.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+import time
+
+from repro.api.session import Session
+from repro.api.spec import RunResult, RunSpec
+from repro.api.study import Study, default_context, get_study
+from repro.api.resultset import to_jsonable
+from repro.server.store import JobRecord, JobStore, study_job_hash
+
+
+class QueueFull(Exception):
+    """The bounded job queue is at capacity (HTTP 429)."""
+
+
+class QueueClosed(Exception):
+    """The service is shutting down; no new submissions (HTTP 503)."""
+
+
+class JobTimeout(Exception):
+    """A job exceeded the configured per-job timeout."""
+
+
+def execute_run(session: Session, spec: RunSpec) -> RunResult:
+    """Run one spec through the session (module-level for testability)."""
+    return session.run(spec)
+
+
+def execute_study(session: Session, study: Study, params: dict, ctx=None):
+    """Run one registered study through the session."""
+    return session.run_study(study, ctx=ctx, params=params)
+
+
+class JobQueue:
+    """Bounded queue + worker threads in front of one Session."""
+
+    def __init__(self, session: Session, store: JobStore,
+                 workers: int = 2, queue_depth: int = 16,
+                 job_timeout: float | None = None,
+                 study_context=None):
+        self.session = session
+        self.store = store
+        self.queue_depth = queue_depth
+        self.job_timeout = job_timeout
+        self.study_context = study_context
+        self._queue: queue.Queue = queue.Queue(maxsize=max(queue_depth, 1))
+        self._lock = threading.Lock()
+        self._jobs: dict[str, JobRecord] = {}
+        self._closed = False
+        self.hits = 0
+        self.misses = 0
+        self._recover()
+        self._workers = [
+            threading.Thread(target=self._worker_loop, daemon=True,
+                             name=f"repro-job-worker-{i}")
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit_run(self, spec: RunSpec) -> tuple[JobRecord, bool]:
+        """Submit a run job; returns ``(record, created)``.
+
+        Dedupes on the spec hash, and answers straight from the result
+        cache — job born ``done`` with ``cached=True`` — when the spec
+        has already been simulated by any client.
+        """
+        job_id = f"run-{spec.key()}"
+        with self._lock:
+            existing = self._dedupe(job_id)
+            if existing is not None:
+                return existing, False
+            record = JobRecord(id=job_id, kind="run", payload=spec.to_dict())
+            cached = self.session.executor.cache.get(spec)
+            if cached is not None:
+                self.hits += 1
+                now = time.time()
+                record.status = "done"
+                record.cached = True
+                record.started_at = record.finished_at = now
+                record.result = cached.to_dict()
+                self._register(record)
+                return record, True
+            self._enqueue(record)
+            return record, True
+
+    def submit_study(self, study: Study | str,
+                     params: dict | None = None) -> tuple[JobRecord, bool]:
+        """Submit a study job; returns ``(record, created)``."""
+        if isinstance(study, str):
+            study = get_study(study)
+        params = dict(params or {})
+        job_id = f"study-{study_job_hash(study.name, params)}"
+        with self._lock:
+            existing = self._dedupe(job_id)
+            if existing is not None:
+                return existing, False
+            record = JobRecord(id=job_id, kind="study",
+                               payload={"study": study.name,
+                                        "params": params})
+            self._enqueue(record)
+            return record, True
+
+    def _dedupe(self, job_id: str) -> JobRecord | None:
+        """The existing record resubmission maps to, if reusable."""
+        existing = self._jobs.get(job_id)
+        if existing is not None and existing.status != "failed":
+            return existing
+        return None
+
+    def _enqueue(self, record: JobRecord) -> None:
+        if self._closed:
+            raise QueueClosed("server is shutting down")
+        try:
+            self._queue.put_nowait(record.id)
+        except queue.Full:
+            raise QueueFull(
+                f"job queue is full ({self.queue_depth} queued)") from None
+        record.status = "queued"
+        record.error = None
+        record.finished_at = None
+        self._register(record)
+
+    def _register(self, record: JobRecord) -> None:
+        self._jobs[record.id] = record
+        self.store.save(record)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self, status: str | None = None) -> list[JobRecord]:
+        with self._lock:
+            records = sorted(self._jobs.values(),
+                             key=lambda r: r.submitted_at)
+        if status is not None:
+            records = [r for r in records if r.status == status]
+        return records
+
+    def counts(self) -> dict:
+        counts = {"queued": 0, "running": 0, "done": 0, "failed": 0}
+        with self._lock:
+            for record in self._jobs.values():
+                counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            try:
+                self._run_job(job_id)
+            finally:
+                self._queue.task_done()
+
+    def _run_job(self, job_id: str) -> None:
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None or record.status != "queued":
+                return
+            record.status = "running"
+            record.started_at = time.time()
+            self.store.save(record)
+        try:
+            result = self._call_with_timeout(lambda: self._execute(record))
+        except Exception as exc:  # noqa: BLE001 — job errors become records
+            with self._lock:
+                record.status = "failed"
+                record.error = f"{type(exc).__name__}: {exc}"
+                record.finished_at = time.time()
+                self.store.save(record)
+            return
+        with self._lock:
+            record.status = "done"
+            record.result = result
+            record.finished_at = time.time()
+            self.store.save(record)
+
+    def _execute(self, record: JobRecord) -> dict:
+        if record.kind == "run":
+            spec = RunSpec.from_dict(record.payload)
+            cached = self.session.executor.cache.get(spec)
+            if cached is not None:  # populated since submission
+                record.cached = True
+                self.hits += 1
+                return cached.to_dict()
+            self.misses += 1
+            return execute_run(self.session, spec).to_dict()
+        study = get_study(record.payload["study"])
+        ctx = self.study_context or default_context()
+        report = execute_study(self.session, study,
+                               record.payload.get("params", {}), ctx=ctx)
+        data = {k: to_jsonable(v) for k, v in report.data.items()
+                if k != "report"}
+        return {"study": report.study, "title": report.title,
+                "rows": to_jsonable(report.rows), "data": data,
+                "report": report.report}
+
+    def _call_with_timeout(self, fn):
+        if not self.job_timeout:
+            return fn()
+        box: dict = {}
+        done = threading.Event()
+
+        def target() -> None:
+            try:
+                box["result"] = fn()
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                box["error"] = exc
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=target, daemon=True,
+                                  name="repro-job-timeout")
+        thread.start()
+        if not done.wait(self.job_timeout):
+            raise JobTimeout(
+                f"job exceeded the {self.job_timeout:g}s timeout "
+                f"(abandoned; the worker moved on)")
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Reload the store; re-enqueue work interrupted by a restart."""
+        for record in self.store.load_all():
+            self._jobs[record.id] = record
+            if record.status in ("queued", "running"):
+                record.restarts += 1
+                try:
+                    self._queue.put_nowait(record.id)
+                except queue.Full:
+                    record.status = "failed"
+                    record.error = ("job queue full after restart; "
+                                    "resubmit to retry")
+                    record.finished_at = time.time()
+                    self.store.save(record)
+                    continue
+                record.status = "queued"
+                record.started_at = None
+                self.store.save(record)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop intake, let in-flight jobs finish, join the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(None)
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

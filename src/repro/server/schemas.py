@@ -1,0 +1,194 @@
+"""Request validation: JSON payloads in, RunSpec/Study out — or a 400.
+
+Submissions arrive as untrusted JSON.  The parsers here turn them into
+the library's typed contracts (:class:`~repro.api.spec.RunSpec`, a
+registered :class:`~repro.api.study.Study` plus params) and collect
+*every* problem as a structured ``{"field", "message"}`` error instead
+of letting the first bad name explode as a worker-side traceback.  The
+route layer renders a :class:`ValidationError` as an HTTP 400 body::
+
+    {"error": "validation failed",
+     "errors": [{"field": "benchmark",
+                 "message": "unknown benchmark 'gcc'; available: [...]"}]}
+"""
+
+from __future__ import annotations
+
+import inspect
+import numbers
+
+from repro.api.spec import RunSpec
+from repro.api.strategies import STRATEGIES
+from repro.api.study import STUDIES, Study, get_study
+from repro.config.machines import CONFIGURATIONS
+from repro.workloads.suite import SUITE_NAMES
+
+
+class ValidationError(Exception):
+    """A submission payload failed validation.
+
+    ``errors`` is a list of ``{"field": str, "message": str}`` dicts,
+    one per problem, in a stable order.
+    """
+
+    def __init__(self, errors: list[dict]):
+        self.errors = list(errors)
+        super().__init__("; ".join(
+            f"{e['field']}: {e['message']}" for e in self.errors))
+
+    @classmethod
+    def single(cls, field: str, message: str) -> "ValidationError":
+        return cls([{"field": field, "message": message}])
+
+
+#: Benchmarks a submission may name: the suite plus the test micro one.
+KNOWN_BENCHMARKS = (*SUITE_NAMES, "micro.syn")
+
+#: Machines a submission may name: the scaled pair plus the registry.
+KNOWN_MACHINES = tuple(dict.fromkeys(("8-way", "16-way", *CONFIGURATIONS)))
+
+#: RunSpec fields a submission may set (everything else is rejected).
+RUN_FIELDS = ("benchmark", "machine", "strategy", "scale", "metric",
+              "seed", "epsilon", "confidence", "benchmark_length",
+              "checkpoints")
+
+
+def _require_mapping(payload, field: str) -> list[dict]:
+    if not isinstance(payload, dict):
+        return [{"field": field,
+                 "message": f"expected a JSON object, got "
+                            f"{type(payload).__name__}"}]
+    return []
+
+
+def parse_run_payload(payload) -> RunSpec:
+    """Validate a ``POST /runs`` body and build its RunSpec.
+
+    Accepts either the bare ``RunSpec.to_dict()`` shape or the same
+    nested under a ``"spec"`` key.  Raises :class:`ValidationError`
+    carrying every detected problem.
+    """
+    errors = _require_mapping(payload, "(body)")
+    if errors:
+        raise ValidationError(errors)
+    if "spec" in payload:
+        payload = payload["spec"]
+        errors += _require_mapping(payload, "spec")
+        if errors:
+            raise ValidationError(errors)
+
+    unknown = sorted(set(payload) - set(RUN_FIELDS))
+    if unknown:
+        errors.append({"field": unknown[0],
+                       "message": f"unknown RunSpec field(s) {unknown}; "
+                                  f"known: {list(RUN_FIELDS)}"})
+
+    benchmark = payload.get("benchmark")
+    if benchmark is None:
+        errors.append({"field": "benchmark",
+                       "message": "required field is missing"})
+    elif benchmark not in KNOWN_BENCHMARKS:
+        errors.append({"field": "benchmark",
+                       "message": f"unknown benchmark {benchmark!r}; "
+                                  f"available: {list(KNOWN_BENCHMARKS)}"})
+
+    machine = payload.get("machine", "8-way")
+    if machine not in KNOWN_MACHINES:
+        errors.append({"field": "machine",
+                       "message": f"unknown machine {machine!r}; "
+                                  f"available: {list(KNOWN_MACHINES)}"})
+
+    strategy = payload.get("strategy")
+    if strategy is not None:
+        errors += _strategy_errors(strategy)
+
+    for field, kind in (("scale", numbers.Real), ("epsilon", numbers.Real),
+                        ("confidence", numbers.Real),
+                        ("seed", numbers.Integral),
+                        ("benchmark_length", numbers.Integral)):
+        value = payload.get(field)
+        if value is None or field not in payload:
+            continue
+        if isinstance(value, bool) or not isinstance(value, kind):
+            expected = "an integer" if kind is numbers.Integral else "a number"
+            errors.append({"field": field,
+                           "message": f"expected {expected}, got "
+                                      f"{value!r}"})
+
+    if errors:
+        raise ValidationError(errors)
+    try:
+        return RunSpec.from_dict(dict(payload))
+    except (ValueError, TypeError, KeyError) as exc:
+        # Constraints __post_init__ enforces (metric/scale/checkpoints).
+        raise ValidationError.single("spec", str(exc)) from exc
+
+
+def _strategy_errors(strategy) -> list[dict]:
+    errors = _require_mapping(strategy, "strategy")
+    if errors:
+        return errors
+    name = strategy.get("name")
+    cls = STRATEGIES.get(name)
+    if cls is None:
+        return [{"field": "strategy.name",
+                 "message": f"unknown strategy {name!r}; "
+                            f"available: {sorted(STRATEGIES)}"}]
+    params = strategy.get("params", {})
+    errors = _require_mapping(params, "strategy.params")
+    if errors:
+        return errors
+    try:
+        cls.from_params(dict(params))
+    except (ValueError, TypeError) as exc:
+        errors.append({"field": "strategy.params", "message": str(exc)})
+    return errors
+
+
+def parse_study_payload(payload) -> tuple[Study, dict]:
+    """Validate a ``POST /studies`` body: registered name plus params.
+
+    Parameter names are checked against the study's grid/analysis
+    signatures *at submission time* (the same rule
+    :meth:`Session.run_study` enforces), so an unknown parameter is a
+    structured 400 instead of a failed job.
+    """
+    errors = _require_mapping(payload, "(body)")
+    if errors:
+        raise ValidationError(errors)
+    name = payload.get("study")
+    if name is None:
+        raise ValidationError.single("study", "required field is missing")
+    if name not in STUDIES:
+        raise ValidationError.single(
+            "study", f"unknown study {name!r}; available: {sorted(STUDIES)}")
+    study = get_study(name)
+
+    unknown_fields = sorted(set(payload) - {"study", "params"})
+    if unknown_fields:
+        errors.append({"field": unknown_fields[0],
+                       "message": f"unknown field(s) {unknown_fields}; "
+                                  f"known: ['study', 'params']"})
+    params = payload.get("params") or {}
+    errors += _require_mapping(params, "params")
+    if not errors:
+        accepted = set()
+        for func in (study.grid, study.analyze):
+            if func is not None:
+                accepted |= _accepted_names(func, params)
+        unknown = sorted(set(params) - accepted)
+        if unknown:
+            errors.append({"field": f"params.{unknown[0]}",
+                           "message": f"study {name!r} accepts no "
+                                      f"parameter(s) {unknown}"})
+    if errors:
+        raise ValidationError(errors)
+    return study, dict(params)
+
+
+def _accepted_names(func, params: dict) -> set:
+    signature = inspect.signature(func)
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD
+           for p in signature.parameters.values()):
+        return set(params)
+    return set(params) & set(signature.parameters)

@@ -1,0 +1,180 @@
+"""The on-disk job store: one JSON record per job under ``.jobs/``.
+
+Job identity is *content* identity: a run job's id is derived from its
+spec hash (``run-<RunSpec.key()>``), a study job's from the hash of its
+``{study, params}`` payload.  Resubmitting the same work therefore maps
+to the same record — idempotency falls out of the naming scheme, and it
+keeps working across server restarts because the records live on disk.
+
+Records are written with the same tmp-file + ``os.replace`` discipline
+as the result cache, so a killed server never leaves a truncated record
+behind; a reader at worst sees the previous state of the job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.paths import project_cache_dir
+
+#: Job lifecycle states, in order.
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+
+def default_jobs_dir() -> Path:
+    """Directory job records persist under (``REPRO_JOBS_DIR``)."""
+    return project_cache_dir("REPRO_JOBS_DIR", ".jobs")
+
+
+def study_job_hash(study: str, params: dict) -> str:
+    """Stable content hash for a study submission (id + dedupe key)."""
+    payload = json.dumps({"study": study, "params": params}, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@dataclass
+class JobRecord:
+    """Everything the service knows about one submitted job.
+
+    ``payload`` is the validated submission (a ``RunSpec.to_dict()`` for
+    run jobs, ``{"study": name, "params": {...}}`` for study jobs) and
+    ``result`` the JSON-ready outcome — a ``RunResult.to_dict()`` or the
+    study's ``{title, rows, data, report}`` bundle.  ``cached`` marks
+    run jobs answered from the result cache without simulating.
+    """
+
+    id: str
+    kind: str  # "run" | "study"
+    payload: dict
+    status: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    cached: bool = False
+    restarts: int = 0
+    result: dict | None = None
+
+    def describe(self) -> dict:
+        """The job as ``GET /jobs/<id>`` reports it (no result body)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "payload": self.payload,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "cached": self.cached,
+            "restarts": self.restarts,
+            "has_result": self.result is not None,
+        }
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRecord":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class JobStore:
+    """Persistence for :class:`JobRecord`s: load, save, list, gc."""
+
+    def __init__(self, directory: Path | str | None = None):
+        self.directory = Path(directory) if directory else default_jobs_dir()
+        self._lock = threading.Lock()
+
+    def _path(self, job_id: str) -> Path:
+        return self.directory / f"{job_id}.json"
+
+    def save(self, record: JobRecord) -> None:
+        with self._lock:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self._path(record.id)
+            tmp = path.with_suffix(
+                f".{os.getpid()}-{threading.get_ident()}.tmp")
+            with open(tmp, "w") as handle:
+                json.dump(record.to_dict(), handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+
+    def load(self, job_id: str) -> JobRecord | None:
+        path = self._path(job_id)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        try:
+            return JobRecord.from_dict(data)
+        except TypeError:
+            return None
+
+    def load_all(self) -> list[JobRecord]:
+        """Every parseable record, oldest submission first."""
+        if not self.directory.is_dir():
+            return []
+        records = []
+        for path in sorted(self.directory.glob("*.json")):
+            record = self.load(path.stem)
+            if record is not None:
+                records.append(record)
+        records.sort(key=lambda r: r.submitted_at)
+        return records
+
+    def delete(self, job_id: str) -> bool:
+        with self._lock:
+            try:
+                self._path(job_id).unlink()
+                return True
+            except OSError:
+                return False
+
+    def gc(self, max_age_days: float | None = None,
+           remove_all: bool = False) -> list[Path]:
+        """Remove finished job records (and stray tmp files).
+
+        Without arguments only orphaned ``*.tmp`` files go; with
+        ``max_age_days`` finished (done/failed) records older than that
+        are removed too, and ``remove_all`` clears every record
+        regardless of age or status (offline maintenance).
+        """
+        removed = []
+        if not self.directory.is_dir():
+            return removed
+        now = time.time()
+        for path in sorted(self.directory.iterdir()):
+            if not path.is_file():
+                continue
+            if path.suffix == ".tmp":
+                removed.append(path)
+                continue
+            if path.suffix != ".json":
+                continue
+            if remove_all:
+                removed.append(path)
+                continue
+            if max_age_days is None:
+                continue
+            record = self.load(path.stem)
+            if record is None:
+                removed.append(path)  # unparseable: nothing can use it
+                continue
+            age_days = (now - record.submitted_at) / 86400.0
+            if record.status in ("done", "failed") and age_days > max_age_days:
+                removed.append(path)
+        for path in removed:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return removed
