@@ -7,8 +7,8 @@ SMARTS reproduction.  It provides:
 * :class:`RunSpec` / :class:`RunResult` — declarative, JSON-serializable
   run contracts,
 * the pluggable sampling strategies (:class:`SystematicStrategy`,
-  :class:`RandomStrategy`, :class:`StratifiedStrategy`) and their
-  registry,
+  :class:`AdaptiveStrategy`, :class:`RandomStrategy`,
+  :class:`StratifiedStrategy`) and their registry,
 * the declarative experiment layer — :class:`Study` /
   :class:`StudyReport` / :class:`StudyContext`, the study registry
   (every paper table/figure is a registered study; see
@@ -38,11 +38,18 @@ from repro.checkpoint import (
 )
 from repro.config import MachineConfig, scaled_16way, scaled_8way
 from repro.core.procedure import recommended_warming
-from repro.core.stats import CONFIDENCE_95, CONFIDENCE_997
-from repro.workloads import SUITE_NAMES, get_benchmark, suite_specs
+from repro.core.stats import CONFIDENCE_95, CONFIDENCE_997, DEFAULT_EPSILON
+from repro.workloads import (
+    EXTRA_NAMES,
+    SUITE_NAMES,
+    extra_specs,
+    get_benchmark,
+    suite_specs,
+)
 from repro.api.spec import RunResult, RunSpec
 from repro.api.strategies import (
     STRATEGIES,
+    AdaptiveStrategy,
     RandomStrategy,
     SamplingStrategy,
     StratifiedStrategy,
@@ -150,13 +157,16 @@ def __getattr__(name: str):
 
 __all__ = [
     "AGGREGATORS",
+    "AdaptiveStrategy",
     "CONFIDENCE_95",
     "CONFIDENCE_997",
     "CheckpointSet",
     "CheckpointStore",
+    "DEFAULT_EPSILON",
     "DEFAULT_STRIDE",
     "EXPERIMENTS",
     "EXPERIMENT_NAMES",
+    "EXTRA_NAMES",
     "Executor",
     "ExperimentContext",
     "GroupedResults",
@@ -184,6 +194,7 @@ __all__ = [
     "default_run_cache_dir",
     "estimate_metric",
     "execute_spec",
+    "extra_specs",
     "format_table",
     "get_benchmark",
     "get_strategy",

@@ -35,7 +35,10 @@ from repro.api.spec import RunResult, RunSpec
 #: cached run results.  v3: functional warming mirrors the detailed
 #: path's BTB recency updates (the path-independence fix the checkpoint
 #: subsystem rests on), which perturbs warmed estimates slightly.
-CACHE_VERSION = 3
+#: v4: truncated final units are excluded from CPI/EPI estimates and
+#: serialized with a ``truncated`` flag, shifting estimates of runs
+#: that sampled the stream end.
+CACHE_VERSION = 4
 
 
 def resolve_machine(name: str) -> MachineConfig:

@@ -23,7 +23,7 @@ import inspect
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.core.stats import CONFIDENCE_997
+from repro.core.stats import CONFIDENCE_997, DEFAULT_EPSILON
 from repro.api.executor import Executor, ResultCache, execute_spec
 from repro.api.resultset import ResultSet
 from repro.api.spec import RunResult, RunSpec
@@ -129,7 +129,7 @@ class Session:
                     scale: float = 0.25,
                     metric: str = "cpi",
                     seed: int = 0,
-                    epsilon: float = 0.075,
+                    epsilon: float = DEFAULT_EPSILON,
                     confidence: float = CONFIDENCE_997,
                     checkpoints: str = "off") -> list[RunSpec]:
         """Build the cross product benchmark x machine as RunSpecs."""
@@ -148,7 +148,7 @@ class Session:
     # ------------------------------------------------------------------
     def estimate(self, benchmark: str, machine: str = "8-way",
                  metric: str = "cpi", scale: float = 0.25, seed: int = 0,
-                 epsilon: float = 0.075, confidence: float = CONFIDENCE_997,
+                 epsilon: float = DEFAULT_EPSILON, confidence: float = CONFIDENCE_997,
                  strategy: SamplingStrategy | None = None,
                  benchmark_length: int | None = None,
                  checkpoints: str | None = None,

@@ -16,7 +16,7 @@ import json
 from dataclasses import dataclass, field, fields, replace
 
 from repro.core.estimates import UnitRecord
-from repro.core.stats import CONFIDENCE_997
+from repro.core.stats import CONFIDENCE_997, DEFAULT_EPSILON
 from repro.api.strategies import (
     SamplingStrategy,
     StrategyOutcome,
@@ -57,7 +57,7 @@ class RunSpec:
     scale: float = 0.25
     metric: str = "cpi"
     seed: int = 0
-    epsilon: float = 0.075
+    epsilon: float = DEFAULT_EPSILON
     confidence: float = CONFIDENCE_997
     benchmark_length: int | None = None
     checkpoints: str = "off"
@@ -256,7 +256,8 @@ class RunResult:
             "wall_seconds": self.wall_seconds,
             "units": [
                 {"index": u.index, "instructions": u.instructions,
-                 "cycles": u.cycles, "energy": u.energy}
+                 "cycles": u.cycles, "energy": u.energy,
+                 "truncated": u.truncated}
                 for u in self.units
             ],
             "strategy_info": self.strategy_info,

@@ -1,11 +1,15 @@
 """Pluggable sampling strategies behind one registered interface.
 
 A :class:`SamplingStrategy` turns a benchmark into measured sampling
-units and an estimate.  Three strategies ship with the library:
+units and an estimate.  Four strategies ship with the library:
 
 * :class:`SystematicStrategy` — the SMARTS procedure itself: systematic
   sampling at a fixed interval with the (up to) two-step sample-size
   tuning loop of Section 5.1.
+* :class:`AdaptiveStrategy` — online stopping: systematic units are
+  simulated in incremental batches (progressively halving the stride)
+  and sampling stops as soon as the finite-population-corrected
+  confidence interval reaches the ±epsilon target.
 * :class:`RandomStrategy` — simple random sampling without replacement,
   the paper's statistical baseline, with an explicit seed.
 * :class:`StratifiedStrategy` — per-phase allocation: BBV phase labels
@@ -32,10 +36,12 @@ from repro.core.estimates import SmartsRunResult
 from repro.core.procedure import estimate_metric, recommended_warming
 from repro.core.sampling import (
     RandomSamplingPlan,
+    SamplingUnit,
     StratifiedSamplingPlan,
     SystematicSamplingPlan,
 )
-from repro.core.smarts import run_smarts
+from repro.core.smarts import SmartsEngine, run_smarts
+from repro.core.stats import DEFAULT_EPSILON
 from repro.isa.program import Program
 
 
@@ -50,6 +56,10 @@ class StrategyOutcome:
 
     @property
     def final_run(self) -> SmartsRunResult:
+        if not self.runs:
+            raise ValueError(
+                "strategy outcome contains no sampling runs; final_run "
+                "is undefined")
         return self.runs[-1]
 
 
@@ -71,7 +81,7 @@ class SamplingStrategy(ABC):
         benchmark_length: int,
         *,
         metric: str = "cpi",
-        epsilon: float = 0.075,
+        epsilon: float = DEFAULT_EPSILON,
         confidence: float = 0.997,
         seed: int = 0,
         checkpoints=None,
@@ -171,7 +181,7 @@ class SystematicStrategy(SamplingStrategy):
     functional_warming: bool = True
 
     def run(self, program, machine, benchmark_length, *, metric="cpi",
-            epsilon=0.075, confidence=0.997, seed=0,
+            epsilon=DEFAULT_EPSILON, confidence=0.997, seed=0,
             checkpoints=None) -> StrategyOutcome:
         procedure = estimate_metric(
             program, machine,
@@ -190,6 +200,144 @@ class SystematicStrategy(SamplingStrategy):
         return StrategyOutcome(
             runs=list(procedure.runs),
             tuned_sample_sizes=list(procedure.tuned_sample_sizes),
+        )
+
+
+# ----------------------------------------------------------------------
+# Adaptive (run to target CI)
+# ----------------------------------------------------------------------
+@register_strategy
+@dataclass(frozen=True)
+class AdaptiveStrategy(SamplingStrategy):
+    """Online stopping: simulate units in batches until the CI hits ±ε.
+
+    Where :class:`SystematicStrategy` fixes the sample size up front
+    (re-running once if the first guess was too small), this strategy
+    drives a resumable :class:`~repro.core.smarts.MeasurementSession`
+    and re-checks the finite-population-corrected confidence interval
+    after every batch — easy benchmarks stop after ``n_min`` units, hard
+    ones keep refining.
+
+    Unit selection is *progressive systematic refinement*: the initial
+    batch is a systematic sample at the largest power-of-two stride that
+    still yields at least ``n_min`` units; each subsequent level halves
+    the stride by interleaving the odd multiples of the new stride, so
+    the cumulative sample is always a systematic sample (mid-level: a
+    near-systematic one) and the whole sequence is a pure function of
+    the population size — the same RunSpec replays identically.
+
+    Guards: sampling never stops before ``n_min`` measured units, never
+    requests more than ``n_max`` (``None`` = no cap beyond the
+    population itself), and ``batch_size`` bounds how many units are
+    simulated between CI checks.
+    """
+
+    name: ClassVar[str] = "adaptive"
+
+    unit_size: int = 50
+    n_min: int = 30
+    n_max: int | None = None
+    batch_size: int = 100
+    detailed_warming: int | None = None
+    functional_warming: bool = True
+
+    def __post_init__(self) -> None:
+        if self.unit_size <= 0:
+            raise ValueError("unit_size must be positive")
+        if self.n_min < 2:
+            raise ValueError("n_min must be at least 2 (a CI needs variance)")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.n_max is not None and self.n_max < self.n_min:
+            raise ValueError("n_max must be at least n_min")
+
+    def _refinement_levels(self, population: int):
+        """Yield ``(stride, new_indices)`` per refinement level.
+
+        Level 0 is the coarsest power-of-two stride whose systematic
+        sample still has at least ``n_min`` units; level t adds the odd
+        multiples of ``stride / 2**t``.  The union after any level is
+        exactly the systematic sample at that level's stride.
+        """
+        stride = 1
+        while -(-population // (2 * stride)) >= self.n_min:
+            stride *= 2
+        yield stride, list(range(0, population, stride))
+        while stride > 1:
+            stride //= 2
+            yield stride, list(range(stride, population, 2 * stride))
+
+    def _batches(self, indices: list[int]):
+        """Split a level into near-uniform interleaved sub-batches."""
+        count = len(indices)
+        sub_batches = -(-count // self.batch_size)
+        for s in range(sub_batches):
+            yield indices[s::sub_batches]
+
+    def run(self, program, machine, benchmark_length, *, metric="cpi",
+            epsilon=DEFAULT_EPSILON, confidence=0.997, seed=0,
+            checkpoints=None) -> StrategyOutcome:
+        if metric not in ("cpi", "epi"):
+            raise ValueError("metric must be 'cpi' or 'epi'")
+        engine = SmartsEngine(machine=machine,
+                              measure_energy=(metric == "epi"),
+                              checkpoints=checkpoints)
+        session = engine.start(
+            program, benchmark_length,
+            unit_size=self.unit_size,
+            detailed_warming=self.effective_warming(machine),
+            functional_warming=self.functional_warming,
+        )
+        population = session.population_size
+        if population <= 0:
+            raise ValueError("benchmark shorter than one sampling unit")
+        n_cap = (population if self.n_max is None
+                 else min(self.n_max, population))
+
+        unit = self.unit_size
+        trajectory: list[dict] = []
+        stopping = "census"
+        achieved_ci = float("inf")
+        requested = 0
+        stride = 1
+        stop = False
+        for stride, level_indices in self._refinement_levels(population):
+            for batch in self._batches(level_indices):
+                batch = batch[:n_cap - requested]
+                if not batch:
+                    continue
+                requested += len(batch)
+                session.extend(
+                    SamplingUnit(index=i, start=i * unit, size=unit)
+                    for i in batch)
+                run = session.result(interval=stride, offset=0)
+                estimate = run.cpi if metric == "cpi" else run.epi
+                achieved_ci = (estimate.corrected_confidence_interval(confidence)
+                               if run.sample_size else float("inf"))
+                trajectory.append({
+                    "stride": stride,
+                    "n": run.sample_size,
+                    "ci": achieved_ci,
+                })
+                if run.sample_size >= self.n_min and achieved_ci <= epsilon:
+                    stopping, stop = "target", True
+                    break
+                if requested >= n_cap:
+                    stopping = "census" if n_cap >= population else "n_max"
+                    stop = True
+                    break
+            if stop:
+                break
+
+        final = session.result(interval=stride, offset=0)
+        return StrategyOutcome(
+            runs=[final],
+            info={
+                "stopping": stopping,
+                "achieved_ci": achieved_ci,
+                "batches": trajectory,
+                "population": population,
+            },
         )
 
 
@@ -214,7 +362,7 @@ class RandomStrategy(SamplingStrategy):
     functional_warming: bool = True
 
     def run(self, program, machine, benchmark_length, *, metric="cpi",
-            epsilon=0.075, confidence=0.997, seed=0,
+            epsilon=DEFAULT_EPSILON, confidence=0.997, seed=0,
             checkpoints=None) -> StrategyOutcome:
         plan = RandomSamplingPlan(
             unit_size=self.unit_size,
@@ -352,7 +500,7 @@ class StratifiedStrategy(SamplingStrategy):
         return plan, info
 
     def run(self, program, machine, benchmark_length, *, metric="cpi",
-            epsilon=0.075, confidence=0.997, seed=0,
+            epsilon=DEFAULT_EPSILON, confidence=0.997, seed=0,
             checkpoints=None) -> StrategyOutcome:
         plan, info = self.build_plan(program, benchmark_length, machine,
                                      seed=seed)

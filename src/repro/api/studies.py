@@ -47,6 +47,7 @@ from repro.harness.cv_analysis import (
 from repro.harness.reporting import format_table, percent, unsigned_percent
 from repro.harness.runtime import measure_rates
 from repro.simpoint.estimator import run_simpoint
+from repro.workloads.suite import EXTRA_NAMES
 from repro.api.resultset import ResultSet
 from repro.api.study import Study, StudyContext, register_study
 
@@ -834,6 +835,112 @@ def _ablation_tidy(data: dict) -> list[dict]:
 
 
 # ----------------------------------------------------------------------
+# Adaptive run-to-target-CI sampling vs the two-round procedure
+# ----------------------------------------------------------------------
+def _adaptive_grid(ctx: StudyContext, machine_name: str = "8-way",
+                   metric: str = "cpi") -> list:
+    """One adaptive and one two-round RunSpec per benchmark.
+
+    Covers the configured suite plus the extra stress-test workloads
+    (phase-shifting and irregular pointer chasing), which are exactly
+    the population shapes a fixed up-front sample size handles worst.
+    Benchmark lengths are measured functionally per spec (no reference
+    simulations needed), so the study runs standalone.
+    """
+    from repro.api import AdaptiveStrategy, RunSpec, SystematicStrategy
+
+    machine = ctx.machine(machine_name)
+    warming = ctx.warming(machine)
+    n_min = max(8, ctx.n_init // 8)
+    batch_size = max(8, ctx.n_init // 6)
+    specs = []
+    for name in [*ctx.suite_names, *EXTRA_NAMES]:
+        common = dict(
+            benchmark=name, machine=machine_name, scale=ctx.scale,
+            metric=metric, epsilon=ctx.epsilon, confidence=ctx.confidence,
+            checkpoints=ctx.checkpoints,
+        )
+        specs.append(RunSpec(strategy=AdaptiveStrategy(
+            unit_size=ctx.unit_size, n_min=n_min, batch_size=batch_size,
+            detailed_warming=warming, functional_warming=True), **common))
+        specs.append(RunSpec(strategy=SystematicStrategy(
+            unit_size=ctx.unit_size, n_init=ctx.n_init, max_rounds=2,
+            detailed_warming=warming, functional_warming=True), **common))
+    return specs
+
+
+def _adaptive_analyze(ctx: StudyContext, results: ResultSet,
+                      machine_name: str = "8-way",
+                      metric: str = "cpi") -> dict:
+    """Per-benchmark cost and achieved-CI comparison of the two modes.
+
+    The adaptive mode's achieved CI is the finite-population-corrected
+    interval its stopping rule operates on (``strategy_info``); the
+    two-round column shows the paper procedure's uncorrected interval
+    alongside its total measured-instruction bill (every round counts).
+    """
+    entries: dict[str, dict] = {}
+    for name in [*ctx.suite_names, *EXTRA_NAMES]:
+        adaptive = results.filter(benchmark=name, strategy="adaptive")[0]
+        two_round = results.filter(benchmark=name, strategy="systematic")[0]
+        achieved_ci = adaptive.strategy_info.get(
+            "achieved_ci", adaptive.confidence_interval)
+        entries[name] = {
+            "adaptive_n": adaptive.sample_size,
+            "adaptive_measured": adaptive.instructions_measured,
+            "adaptive_ci": adaptive.confidence_interval,
+            "adaptive_ci_corrected": achieved_ci,
+            "adaptive_stopping": adaptive.strategy_info.get("stopping"),
+            "adaptive_batches": len(adaptive.strategy_info.get("batches", ())),
+            "adaptive_meets_target": achieved_ci <= adaptive.spec.epsilon,
+            "two_round_n": two_round.sample_size,
+            "two_round_rounds": two_round.rounds,
+            "two_round_measured": two_round.instructions_measured,
+            "two_round_ci": two_round.confidence_interval,
+            "adaptive_estimate": adaptive.estimate_mean,
+            "two_round_estimate": two_round.estimate_mean,
+            "adaptive_cheaper": (adaptive.instructions_measured
+                                 <= two_round.instructions_measured),
+        }
+
+    cheaper = sum(e["adaptive_cheaper"] for e in entries.values())
+    met = sum(e["adaptive_meets_target"] for e in entries.values())
+    rows = []
+    for name, e in entries.items():
+        rows.append([
+            name,
+            e["adaptive_n"], e["adaptive_batches"], e["adaptive_stopping"],
+            unsigned_percent(e["adaptive_ci_corrected"]),
+            e["adaptive_measured"],
+            e["two_round_n"], e["two_round_rounds"],
+            unsigned_percent(e["two_round_ci"]),
+            e["two_round_measured"],
+            "yes" if e["adaptive_cheaper"] else "no",
+        ])
+    report = format_table(
+        ["benchmark", "n (adaptive)", "batches", "stop",
+         "CI (adaptive, FPC)", "measured (adaptive)", "n (2-round)",
+         "rounds", "CI (2-round)", "measured (2-round)", "adaptive cheaper"],
+        rows,
+        title=f"Adaptive vs two-round {metric.upper()} estimation "
+              f"(±{ctx.epsilon:.1%} target, U={ctx.unit_size}, "
+              f"{machine_name}); adaptive meets target on "
+              f"{met}/{len(entries)}, cheaper on {cheaper}/{len(entries)}")
+    return {
+        "entries": entries,
+        "meets_target_count": met,
+        "cheaper_count": cheaper,
+        "total": len(entries),
+        "report": report,
+    }
+
+
+def _adaptive_tidy(data: dict) -> list[dict]:
+    return [{"benchmark": name, **entry}
+            for name, entry in data["entries"].items()]
+
+
+# ----------------------------------------------------------------------
 # Registry: one Study per paper table/figure, in paper order
 # ----------------------------------------------------------------------
 register_study(Study(
@@ -880,3 +987,7 @@ register_study(Study(
 register_study(Study(
     name="ablation", title="Ablation: systematic vs simple random sampling",
     analyze=_ablation_analyze, tidy=_ablation_tidy))
+register_study(Study(
+    name="adaptive_vs_two_round",
+    title="Adaptive run-to-target-CI sampling vs the two-round procedure",
+    grid=_adaptive_grid, analyze=_adaptive_analyze, tidy=_adaptive_tidy))

@@ -28,7 +28,7 @@ from typing import Callable
 from repro.config.machines import MachineConfig, scaled_16way, scaled_8way
 from repro.core.estimates import ReferenceResult
 from repro.core.procedure import recommended_warming
-from repro.core.stats import CONFIDENCE_997
+from repro.core.stats import CONFIDENCE_997, DEFAULT_EPSILON
 from repro.workloads.suite import SUITE_NAMES, Benchmark, get_benchmark
 from repro.api.resultset import ResultSet, rows_to_csv
 
@@ -45,7 +45,7 @@ class StudyContext:
     unit_size: int = 50
     chunk_size: int = 25
     n_init: int = 300
-    epsilon: float = 0.075
+    epsilon: float = DEFAULT_EPSILON
     confidence: float = CONFIDENCE_997
     use_cache: bool = True
     #: Worker processes for suite sweeps (0/None = serial; REPRO_WORKERS).

@@ -49,8 +49,10 @@ from typing import Sequence
 from repro.api import (
     DEFAULT_STRIDE,
     EXPERIMENTS,
+    EXTRA_NAMES,
     STRATEGIES,
     STUDIES,
+    AdaptiveStrategy,
     CheckpointStore,
     RunSpec,
     Session,
@@ -71,6 +73,10 @@ from repro.api import (
 
 #: Machine configurations the CLI accepts (the scaled Table 3 pair).
 MACHINE_NAMES = ("8-way", "16-way")
+
+#: Benchmarks the single-run commands accept: the SPEC2K stand-in suite
+#: plus the extra stress-test workloads (phase-shifting / irregular).
+ESTIMATE_BENCHMARKS = (*SUITE_NAMES, *EXTRA_NAMES)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -105,9 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     estimate = sub.add_parser(
         "estimate", help="estimate CPI/EPI with the SMARTS procedure")
-    estimate.add_argument("benchmark", choices=SUITE_NAMES)
+    estimate.add_argument("benchmark", choices=ESTIMATE_BENCHMARKS)
     _add_common(estimate)
     estimate.add_argument("--metric", choices=["cpi", "epi"], default="cpi")
+    estimate.add_argument("--strategy", choices=["systematic", "adaptive"],
+                          default="systematic",
+                          help="two-round n-tuning (systematic) or "
+                               "run-to-target-CI batching (adaptive)")
     estimate.add_argument("--unit-size", type=int, default=50,
                           help="sampling unit size U (instructions)")
     estimate.add_argument("--warming", type=int, default=None,
@@ -118,9 +128,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="target relative confidence interval")
     estimate.add_argument("--confidence", type=float, default=0.997)
     estimate.add_argument("--n-init", type=int, default=300,
-                          help="initial sample size")
+                          help="initial sample size (systematic)")
     estimate.add_argument("--rounds", type=int, default=2,
-                          help="maximum sampling rounds")
+                          help="maximum sampling rounds (systematic)")
+    estimate.add_argument("--n-min", type=int, default=30,
+                          help="adaptive: smallest sample before a "
+                               "stopping decision")
+    estimate.add_argument("--n-max", type=int, default=None,
+                          help="adaptive: hard cap on sampled units "
+                               "(default: the whole population)")
+    estimate.add_argument("--batch-size", type=int, default=100,
+                          help="adaptive: units simulated between CI "
+                               "re-checks")
     estimate.add_argument("--validate", action="store_true",
                           help="also run the full detailed reference and "
                                "report the actual error")
@@ -159,7 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     reference = sub.add_parser(
         "reference", help="run full-stream detailed simulation")
-    reference.add_argument("benchmark", choices=SUITE_NAMES)
+    reference.add_argument("benchmark", choices=ESTIMATE_BENCHMARKS)
     _add_common(reference)
     reference.add_argument("--no-cache", action="store_true",
                            help="ignore the on-disk reference cache")
@@ -301,13 +320,23 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     # Leave detailed_warming=None when not given explicitly: the strategy
     # defers to the machine recommendation, and the spec hash stays
     # shareable with sweep/example runs that also use the default.
-    strategy = SystematicStrategy(
-        unit_size=args.unit_size,
-        n_init=args.n_init,
-        max_rounds=args.rounds,
-        detailed_warming=args.warming,
-        functional_warming=not args.no_functional_warming,
-    )
+    if args.strategy == "adaptive":
+        strategy = AdaptiveStrategy(
+            unit_size=args.unit_size,
+            n_min=args.n_min,
+            n_max=args.n_max,
+            batch_size=args.batch_size,
+            detailed_warming=args.warming,
+            functional_warming=not args.no_functional_warming,
+        )
+    else:
+        strategy = SystematicStrategy(
+            unit_size=args.unit_size,
+            n_init=args.n_init,
+            max_rounds=args.rounds,
+            detailed_warming=args.warming,
+            functional_warming=not args.no_functional_warming,
+        )
     warming = strategy.effective_warming(machine)
     spec = RunSpec(
         benchmark=args.benchmark,
@@ -368,7 +397,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     benchmarks = (_split_names(args.benchmarks) if args.benchmarks
                   else list(SUITE_NAMES))
-    if _reject_unknown(benchmarks, SUITE_NAMES, "benchmark"):
+    if _reject_unknown(benchmarks, ESTIMATE_BENCHMARKS, "benchmark"):
         return 2
     machines = _split_names(args.machines)
     if _reject_unknown(machines, MACHINE_NAMES, "machine"):

@@ -9,6 +9,7 @@ import numpy as np
 from repro.core.stats import (
     CONFIDENCE_997,
     SampleStatistics,
+    finite_population_factor,
     sample_statistics,
 )
 
@@ -21,6 +22,11 @@ class UnitRecord:
     instructions: int    #: Instructions measured (== U except at stream end).
     cycles: int          #: Cycles the unit took in detailed simulation.
     energy: float        #: Energy (nJ) charged to the unit.
+    #: True when the stream ended mid-unit (``instructions < U``).  A
+    #: truncated unit's per-instruction values are not comparable to a
+    #: full unit's, so estimates exclude it; instruction bookkeeping
+    #: (``instructions_measured``) still counts it.
+    truncated: bool = False
 
     @property
     def cpi(self) -> float:
@@ -66,6 +72,24 @@ class MetricEstimate:
         """True if the estimate's confidence interval is within ±epsilon."""
         return self.confidence_interval(confidence) <= epsilon
 
+    def corrected_confidence_interval(
+            self, confidence: float = CONFIDENCE_997) -> float:
+        """Relative CI half-width with the finite-population correction.
+
+        ``z·V̂/√n · sqrt(1 - n/N)`` — the honest achieved interval when
+        the sample is a non-negligible fraction of ``population_size``
+        (the regime the adaptive stopping rule operates in).  Without a
+        population size this equals :meth:`confidence_interval`.
+        """
+        raw = self.confidence_interval(confidence)
+        if self.population_size is None:
+            return raw
+        factor = finite_population_factor(self.sample_size,
+                                          self.population_size)
+        if raw == float("inf") and factor == 0.0:
+            return 0.0  # single-unit census: the estimate is exact
+        return raw * factor
+
     @classmethod
     def from_values(cls, name: str, values, population_size: int | None = None
                     ) -> "MetricEstimate":
@@ -108,16 +132,30 @@ class SmartsRunResult:
         return self.benchmark_length // self.unit_size if self.unit_size else 0
 
     @property
+    def complete_units(self) -> list[UnitRecord]:
+        """The units that measured a full U instructions.
+
+        Estimates are computed over these: a truncated final unit's
+        per-instruction values carry partial-unit noise and would enter
+        the mean/CV with the same weight as a full unit.  When *every*
+        measured unit is truncated (a degenerate run entirely at the
+        stream end) the truncated units are used as-is rather than
+        failing.
+        """
+        complete = [u for u in self.units if not u.truncated]
+        return complete if complete else list(self.units)
+
+    @property
     def cpi(self) -> MetricEstimate:
-        """CPI estimate over the measured sampling units."""
+        """CPI estimate over the complete measured sampling units."""
         return MetricEstimate.from_values(
-            "cpi", [u.cpi for u in self.units], self.population_size)
+            "cpi", [u.cpi for u in self.complete_units], self.population_size)
 
     @property
     def epi(self) -> MetricEstimate:
-        """Energy-per-instruction estimate over the measured units."""
+        """Energy-per-instruction estimate over the complete units."""
         return MetricEstimate.from_values(
-            "epi", [u.epi for u in self.units], self.population_size)
+            "epi", [u.epi for u in self.complete_units], self.population_size)
 
     @property
     def detailed_fraction(self) -> float:

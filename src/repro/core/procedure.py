@@ -28,7 +28,7 @@ from repro.config.machines import MachineConfig
 from repro.core.estimates import MetricEstimate, SmartsRunResult
 from repro.core.sampling import SystematicSamplingPlan
 from repro.core.smarts import run_smarts
-from repro.core.stats import CONFIDENCE_997, required_sample_size
+from repro.core.stats import CONFIDENCE_997, DEFAULT_EPSILON, required_sample_size
 from repro.functional.simulator import measure_program_length
 from repro.isa.program import Program
 
@@ -89,10 +89,18 @@ class ProcedureResult:
 
     @property
     def final_run(self) -> SmartsRunResult:
+        if not self.runs:
+            raise ValueError(
+                f"procedure for {self.benchmark!r} recorded no sampling "
+                "runs; final_run is undefined")
         return self.runs[-1]
 
     @property
     def initial_run(self) -> SmartsRunResult:
+        if not self.runs:
+            raise ValueError(
+                f"procedure for {self.benchmark!r} recorded no sampling "
+                "runs; initial_run is undefined")
         return self.runs[0]
 
     @property
@@ -145,7 +153,7 @@ def estimate_metric(
     unit_size: int = DEFAULT_UNIT_SIZE,
     detailed_warming: int | None = None,
     functional_warming: bool = True,
-    epsilon: float = 0.03,
+    epsilon: float = DEFAULT_EPSILON,
     confidence: float = CONFIDENCE_997,
     n_init: int = DEFAULT_N_INIT,
     max_rounds: int = 2,

@@ -134,7 +134,10 @@ class SystematicSamplingPlan:
         Mirrors the paper's procedure of choosing ``k = N / n_init``
         (Section 5.1).  The interval is floored (never below 1) so the
         realized sample size is at least the target whenever the
-        population allows it.
+        population allows it.  An ``offset`` of ``interval`` or more
+        wraps around (``offset % interval``) so distinct requested
+        phases stay distinct plans — clamping them all onto
+        ``interval - 1`` would silently alias an offset sweep.
         """
         population = benchmark_length // unit_size
         if population <= 0:
@@ -144,7 +147,7 @@ class SystematicSamplingPlan:
         return cls(
             unit_size=unit_size,
             interval=interval,
-            offset=min(offset, interval - 1),
+            offset=offset % interval,
             detailed_warming=detailed_warming,
             functional_warming=functional_warming,
         )

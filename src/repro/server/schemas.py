@@ -21,7 +21,7 @@ from repro.api.spec import RunSpec
 from repro.api.strategies import STRATEGIES
 from repro.api.study import STUDIES, Study, get_study
 from repro.config.machines import CONFIGURATIONS
-from repro.workloads.suite import SUITE_NAMES
+from repro.workloads.suite import EXTRA_NAMES, SUITE_NAMES
 
 
 class ValidationError(Exception):
@@ -41,8 +41,9 @@ class ValidationError(Exception):
         return cls([{"field": field, "message": message}])
 
 
-#: Benchmarks a submission may name: the suite plus the test micro one.
-KNOWN_BENCHMARKS = (*SUITE_NAMES, "micro.syn")
+#: Benchmarks a submission may name: the suite, the extra stress-test
+#: workloads, and the test micro one.
+KNOWN_BENCHMARKS = (*SUITE_NAMES, *EXTRA_NAMES, "micro.syn")
 
 #: Machines a submission may name: the scaled pair plus the registry.
 KNOWN_MACHINES = tuple(dict.fromkeys(("8-way", "16-way", *CONFIGURATIONS)))
@@ -113,6 +114,17 @@ def parse_run_payload(payload) -> RunSpec:
             expected = "an integer" if kind is numbers.Integral else "a number"
             errors.append({"field": field,
                            "message": f"expected {expected}, got "
+                                      f"{value!r}"})
+            continue
+        # Range checks the statistics layer would otherwise reject deep
+        # inside a worker (z_score / required_sample_size ValueErrors).
+        if field == "epsilon" and value <= 0:
+            errors.append({"field": "epsilon",
+                           "message": f"epsilon must be positive, got "
+                                      f"{value!r}"})
+        elif field == "confidence" and not 0 < value < 1:
+            errors.append({"field": "confidence",
+                           "message": f"confidence must be in (0, 1), got "
                                       f"{value!r}"})
 
     if errors:

@@ -2,6 +2,7 @@
 
 from repro.workloads.kernels import KERNELS, DataAllocator, KernelInstance
 from repro.workloads.suite import (
+    EXTRA_NAMES,
     SUITE_NAMES,
     Benchmark,
     BenchmarkSpec,
@@ -9,6 +10,7 @@ from repro.workloads.suite import (
     PhaseSpec,
     build_program,
     build_suite,
+    extra_specs,
     get_benchmark,
     micro_benchmark,
     suite_specs,
@@ -18,6 +20,7 @@ __all__ = [
     "Benchmark",
     "BenchmarkSpec",
     "DataAllocator",
+    "EXTRA_NAMES",
     "KERNELS",
     "KernelInstance",
     "KernelSpec",
@@ -25,6 +28,7 @@ __all__ = [
     "SUITE_NAMES",
     "build_program",
     "build_suite",
+    "extra_specs",
     "get_benchmark",
     "micro_benchmark",
     "suite_specs",

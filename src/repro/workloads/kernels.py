@@ -20,6 +20,7 @@ kernel              behaviour
 ``stream_sum``      sequential integer loads, high spatial locality
 ``stream_triad``    streaming FP loads/stores (swim/art-like bandwidth codes)
 ``pointer_chase``   data-dependent loads over a shuffled list (mcf-like)
+``irregular_chase`` bursty chasing through lists of differing sizes
 ``random_access``   LCG-scattered loads/stores over a table (vpr/gap-like)
 ``branchy_walk``    data-dependent branches with configurable bias (gcc-like)
 ``matmul``          register-blocked FP multiply-accumulate (mesa-like)
@@ -151,6 +152,69 @@ def emit_pointer_chase(b: ProgramBuilder, label: str, alloc: DataAllocator,
     b.bne("r2", "r0", top)
     b.jr("r31")
     return KernelInstance("pointer_chase", label, dynamic_length=4 * hops + 4)
+
+
+def emit_irregular_chase(b: ProgramBuilder, label: str, alloc: DataAllocator,
+                         rng: random.Random, lists: int = 4,
+                         min_nodes: int = 64, max_nodes: int = 1024,
+                         spacing: int = 64, bursts: int = 16,
+                         min_hops: int = 32, max_hops: int = 256) -> KernelInstance:
+    """Bursty chasing through several shuffled lists of differing sizes.
+
+    Where :func:`emit_pointer_chase` follows one list at a fixed hop
+    count, this kernel allocates ``lists`` independent shuffled lists
+    with randomly drawn node counts and then executes a baked schedule
+    of ``bursts`` (head, hops) pairs: each burst picks one list and
+    chases it for its own randomly drawn hop count.  Cache footprint
+    and burst length both vary at a fine grain, so per-unit CPI is far
+    more irregular than for any single-list chase — the stress case for
+    run-to-target-CI stopping rules.
+    """
+    if lists <= 0 or bursts <= 0:
+        raise ValueError("lists and bursts must be positive")
+    if not 1 <= min_nodes <= max_nodes:
+        raise ValueError("need 1 <= min_nodes <= max_nodes")
+    if not 1 <= min_hops <= max_hops:
+        raise ValueError("need 1 <= min_hops <= max_hops")
+    heads = []
+    for _ in range(lists):
+        nodes = rng.randrange(min_nodes, max_nodes + 1)
+        base = alloc.alloc(nodes * spacing)
+        order = list(range(nodes))
+        rng.shuffle(order)
+        for i in range(nodes):
+            current = order[i]
+            successor = order[(i + 1) % nodes]
+            b.data_word(base + current * spacing, base + successor * spacing)
+        heads.append(base + order[0] * spacing)
+    schedule = alloc.alloc(bursts * 2 * WORD_SIZE)
+    total_hops = 0
+    for i in range(bursts):
+        head = heads[rng.randrange(lists)]
+        hops = rng.randrange(min_hops, max_hops + 1)
+        total_hops += hops
+        b.data_word(schedule + (2 * i) * WORD_SIZE, head)
+        b.data_word(schedule + (2 * i + 1) * WORD_SIZE, hops)
+    b.label(label)
+    b.addi("r1", "r0", schedule)      # schedule cursor
+    b.addi("r2", "r0", bursts)        # bursts remaining
+    b.addi("r5", "r0", 0)             # hop accumulator
+    outer = f"{label}_burst"
+    inner = f"{label}_hop"
+    b.label(outer)
+    b.load("r3", "r1", 0)             # cursor = burst head
+    b.load("r4", "r1", WORD_SIZE)     # burst hop count
+    b.label(inner)
+    b.load("r3", "r3", 0)             # cursor = *cursor
+    b.addi("r5", "r5", 1)
+    b.addi("r4", "r4", -1)
+    b.bne("r4", "r0", inner)
+    b.addi("r1", "r1", 2 * WORD_SIZE)
+    b.addi("r2", "r2", -1)
+    b.bne("r2", "r0", outer)
+    b.jr("r31")
+    return KernelInstance("irregular_chase", label,
+                          dynamic_length=4 * total_hops + 5 * bursts + 4)
 
 
 def emit_random_access(b: ProgramBuilder, label: str, alloc: DataAllocator,
@@ -405,6 +469,7 @@ KERNELS: dict[str, Callable[..., KernelInstance]] = {
     "stream_sum": emit_stream_sum,
     "stream_triad": emit_stream_triad,
     "pointer_chase": emit_pointer_chase,
+    "irregular_chase": emit_irregular_chase,
     "random_access": emit_random_access,
     "branchy_walk": emit_branchy_walk,
     "matmul": emit_matmul,

@@ -297,17 +297,68 @@ def suite_specs() -> list[BenchmarkSpec]:
     ]
 
 
+def extra_specs() -> list[BenchmarkSpec]:
+    """Stress-test workload families beyond the core 12-benchmark suite.
+
+    These deliberately break the suite's "phases are long and mostly
+    steady" structure — ``phaseshift.syn`` flips between compute-,
+    memory-, and branch-bound behaviour at a fine grain, and
+    ``irregular.syn`` chases pointers through many differently sized
+    lists in bursts — giving sampling-strategy comparisons (the
+    ``adaptive_vs_two_round`` study in particular) workloads whose
+    per-unit CPI is genuinely hard to pin down.  They are not part of
+    ``SUITE_NAMES``; figure studies and suite-wide assertions keep
+    their canonical 12-benchmark population.
+    """
+    k = KernelSpec
+    return [
+        _spec(
+            "phaseshift.syn", "fp",
+            "Rapidly alternating compute / memory / branch phases; the "
+            "coarse-grain behaviour never settles, so a fixed up-front "
+            "sample size is either wasteful or insufficient.",
+            [
+                PhaseSpec((k("stencil", {"elems": 1024, "sweeps": 1}),), 6),
+                PhaseSpec((k("alu_chain", {"iters": 512}),), 25),
+                PhaseSpec((k("pointer_chase",
+                             {"nodes": 4096, "spacing": 64, "hops": 2048}),), 8),
+                PhaseSpec((k("matmul", {"n": 8}),), 10),
+            ],
+            repeat=2,
+        ),
+        _spec(
+            "irregular.syn", "int",
+            "Bursty pointer chasing through many differently sized lists "
+            "(fine-grain irregular memory behaviour, high per-unit CPI "
+            "variance).",
+            [
+                PhaseSpec((k("irregular_chase",
+                             {"lists": 6, "min_nodes": 128, "max_nodes": 2048,
+                              "bursts": 24, "min_hops": 64, "max_hops": 512}),), 12),
+                PhaseSpec((k("irregular_chase",
+                             {"lists": 3, "min_nodes": 64, "max_nodes": 512,
+                              "bursts": 16, "min_hops": 32, "max_hops": 128}),
+                           k("branchy_walk", {"elems": 256, "taken_bias": 0.6})), 15),
+            ],
+        ),
+    ]
+
+
 #: Names of all benchmarks in the suite, in canonical order.
 SUITE_NAMES = [spec.name for spec in suite_specs()]
+
+#: Names of the extra stress-test benchmarks (buildable via
+#: :func:`get_benchmark` but excluded from the canonical suite).
+EXTRA_NAMES = [spec.name for spec in extra_specs()]
 
 
 @lru_cache(maxsize=None)
 def _spec_by_name(name: str) -> BenchmarkSpec:
-    for spec in suite_specs():
+    for spec in suite_specs() + extra_specs():
         if spec.name == name:
             return spec
     raise KeyError(
-        f"unknown benchmark {name!r}; available: {SUITE_NAMES}")
+        f"unknown benchmark {name!r}; available: {SUITE_NAMES + EXTRA_NAMES}")
 
 
 def get_benchmark(name: str, scale: float = 1.0) -> Benchmark:

@@ -6,6 +6,7 @@ import pytest
 
 from repro.api import (
     STRATEGIES,
+    AdaptiveStrategy,
     RandomStrategy,
     RunResult,
     RunSpec,
@@ -22,6 +23,7 @@ from repro.core.estimates import UnitRecord
 class TestStrategyRegistry:
     def test_builtin_strategies_registered(self):
         assert STRATEGIES["systematic"] is SystematicStrategy
+        assert STRATEGIES["adaptive"] is AdaptiveStrategy
         assert STRATEGIES["random"] is RandomStrategy
         assert STRATEGIES["stratified"] is StratifiedStrategy
 
@@ -105,6 +107,35 @@ class TestRunSpec:
             strategy=RandomStrategy()).key()
         # Same content, fresh objects -> same key.
         assert base.key() == RunSpec(benchmark="gcc.syn").key()
+
+    def test_adaptive_spec_json_and_cache_key_roundtrip(self):
+        """An adaptive RunSpec must survive serialization with its key
+        (the run-result cache and the server both depend on it)."""
+        spec = RunSpec(
+            benchmark="mcf.syn",
+            strategy=AdaptiveStrategy(unit_size=25, n_min=10, n_max=200,
+                                      batch_size=40, detailed_warming=64),
+            scale=0.1,
+            epsilon=0.05,
+        )
+        payload = json.dumps(spec.to_dict())
+        rebuilt = RunSpec.from_dict(json.loads(payload))
+        assert rebuilt == spec
+        assert rebuilt.strategy == spec.strategy
+        assert rebuilt.key() == spec.key()
+        # Guards are part of the identity: changing one changes the key.
+        assert spec.key() != spec.with_(
+            strategy=AdaptiveStrategy(unit_size=25, n_min=10, n_max=None,
+                                      batch_size=40,
+                                      detailed_warming=64)).key()
+
+    def test_adaptive_guard_validation(self):
+        with pytest.raises(ValueError, match="n_min"):
+            AdaptiveStrategy(n_min=1)
+        with pytest.raises(ValueError, match="batch_size"):
+            AdaptiveStrategy(batch_size=0)
+        with pytest.raises(ValueError, match="n_max"):
+            AdaptiveStrategy(n_min=30, n_max=10)
 
     def test_strategy_dict_coerced(self):
         spec = RunSpec(benchmark="gcc.syn",

@@ -58,7 +58,8 @@ class TestRegistry:
     def test_all_paper_experiments_are_registered(self):
         assert set(study_names()) == {
             "table3", "fig2", "fig3", "fig4", "fig5", "table4", "table5",
-            "fig6", "fig7", "table6", "fig8", "ablation"}
+            "fig6", "fig7", "table6", "fig8", "ablation",
+            "adaptive_vs_two_round"}
         assert EXPERIMENT_NAMES == study_names()
 
     def test_get_study_unknown_raises(self):

@@ -32,7 +32,7 @@ class TestParser:
     def test_experiment_choices_cover_all_tables_and_figures(self):
         expected = {"table3", "table4", "table5", "table6",
                     "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-                    "ablation"}
+                    "ablation", "adaptive_vs_two_round"}
         assert set(EXPERIMENTS) == expected
 
     def test_study_run_workers_flag(self):

@@ -142,7 +142,8 @@ RUN_RESULT_SCHEMA = {
                 "required": ["index", "instructions", "cycles", "energy"],
                 "additionalProperties": False,
                 "properties": {"index": INTEGER, "instructions": INTEGER,
-                               "cycles": INTEGER, "energy": NUMBER},
+                               "cycles": INTEGER, "energy": NUMBER,
+                               "truncated": {"type": "boolean"}},
             },
         },
         "strategy_info": {"type": "object"},

@@ -42,6 +42,27 @@ class TestMetricEstimate:
         assert estimate.absolute_confidence_interval(0.997) == \
             pytest.approx(ci * estimate.mean)
 
+    def test_corrected_confidence_interval_applies_fpc(self):
+        values = [1.0, 1.1, 0.9, 1.05, 0.95] * 10
+        # Half the population sampled -> CI shrinks by sqrt(1 - 1/2).
+        estimate = MetricEstimate.from_values("cpi", values,
+                                              population_size=100)
+        raw = estimate.confidence_interval(0.997)
+        assert estimate.corrected_confidence_interval(0.997) == \
+            pytest.approx(raw * math.sqrt(0.5))
+        # Without a population size the correction is a no-op.
+        plain = MetricEstimate.from_values("cpi", values)
+        assert plain.corrected_confidence_interval(0.997) == pytest.approx(raw)
+
+    def test_corrected_confidence_interval_census_is_exact(self):
+        estimate = MetricEstimate.from_values("cpi", [1.0, 2.0],
+                                              population_size=2)
+        assert estimate.corrected_confidence_interval(0.997) == 0.0
+        # Degenerate single-unit census: raw CI is inf, corrected is 0.
+        single = MetricEstimate.from_values("cpi", [1.5], population_size=1)
+        assert single.confidence_interval(0.997) == float("inf")
+        assert single.corrected_confidence_interval(0.997) == 0.0
+
 
 def make_run(unit_values, unit_size=10, benchmark_length=10_000):
     run = SmartsRunResult(
@@ -92,6 +113,30 @@ class TestSmartsRunResult:
         run = make_run([])
         with pytest.raises(ValueError):
             _ = run.cpi
+
+    def test_truncated_units_excluded_from_estimates(self):
+        """Regression: a partial final unit must not skew the CPI mean.
+
+        Before the ``truncated`` flag, a unit cut short by the end of
+        the stream entered the estimate with full weight despite its
+        per-instruction values carrying partial-unit noise.
+        """
+        run = make_run([2.0, 2.0, 2.0])
+        run.units.append(UnitRecord(index=999, instructions=3, cycles=30,
+                                    energy=60.0, truncated=True))
+        # The truncated unit's CPI of 10.0 is excluded from the estimate…
+        assert run.cpi.sample_size == 3
+        assert run.cpi.mean == pytest.approx(2.0)
+        assert run.epi.mean == pytest.approx(4.0)
+        # …but the unit stays in the sample bookkeeping.
+        assert run.sample_size == 4
+
+    def test_all_truncated_fallback(self):
+        run = make_run([])
+        run.units.append(UnitRecord(index=0, instructions=4, cycles=12,
+                                    energy=0.0, truncated=True))
+        assert run.cpi.sample_size == 1
+        assert run.cpi.mean == pytest.approx(3.0)
 
 
 class TestReferenceResult:

@@ -67,6 +67,23 @@ class TestSystematicPlan:
             SystematicSamplingPlan.for_sample_size(
                 benchmark_length=10, unit_size=100, target_sample_size=5)
 
+    def test_for_sample_size_offsets_do_not_alias(self):
+        """Regression: offsets at/above the interval wrap instead of clamp.
+
+        The old ``min(offset, interval - 1)`` collapsed every offset
+        >= interval onto the same phase, silently aliasing an offset
+        sweep; ``offset % interval`` keeps distinct phases distinct.
+        """
+        kwargs = dict(benchmark_length=10_000, unit_size=10,
+                      target_sample_size=100)   # interval = 10
+        a = SystematicSamplingPlan.for_sample_size(offset=9, **kwargs)
+        b = SystematicSamplingPlan.for_sample_size(offset=13, **kwargs)
+        assert a.interval == b.interval == 10
+        assert a.offset == 9 and b.offset == 3
+        units_a = {u.index for u in a.units(10_000)}
+        units_b = {u.index for u in b.units(10_000)}
+        assert units_a != units_b and units_a.isdisjoint(units_b)
+
     @given(
         length=st.integers(min_value=1_000, max_value=500_000),
         unit_size=st.integers(min_value=1, max_value=500),

@@ -259,6 +259,32 @@ class TestValidation:
         assert errors[0]["field"] == "strategy.params"
         assert "bogus" in errors[0]["message"]
 
+    def test_nonpositive_epsilon_and_bad_confidence_400(self, client):
+        with pytest.raises(ServerError) as exc:
+            client.submit_run({"benchmark": "micro.syn", "epsilon": 0,
+                               "confidence": 1.0})
+        assert exc.value.status == 400
+        errors = {e["field"]: e["message"] for e in
+                  exc.value.payload["errors"]}
+        assert "positive" in errors["epsilon"]
+        assert "(0, 1)" in errors["confidence"]
+
+    def test_negative_epsilon_400(self, client):
+        with pytest.raises(ServerError) as exc:
+            client.submit_run({"benchmark": "micro.syn", "epsilon": -0.05})
+        assert exc.value.status == 400
+        assert exc.value.payload["errors"][0]["field"] == "epsilon"
+
+    def test_bad_adaptive_params_400(self, client):
+        with pytest.raises(ServerError) as exc:
+            client.submit_run({"benchmark": "micro.syn",
+                               "strategy": {"name": "adaptive",
+                                            "params": {"n_min": 1}}})
+        assert exc.value.status == 400
+        errors = exc.value.payload["errors"]
+        assert errors[0]["field"] == "strategy.params"
+        assert "n_min" in errors[0]["message"]
+
     def test_bad_metric_400_not_traceback(self, client):
         with pytest.raises(ServerError) as exc:
             client.submit_run({"benchmark": "micro.syn", "metric": "mips"})

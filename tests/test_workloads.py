@@ -52,6 +52,8 @@ class TestKernels:
             "alu_chain": {"iters": 32},
             "divider": {"iters": 8},
             "sort_pass": {"elems": 16, "passes": 1},
+            "irregular_chase": {"lists": 2, "min_nodes": 8, "max_nodes": 16,
+                                "bursts": 4, "min_hops": 4, "max_hops": 8},
         }[name]
         b.jump("main")
         instance = KERNELS[name](b, f"k_{name}", alloc, rng, **params)
