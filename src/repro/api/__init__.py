@@ -36,9 +36,25 @@ from repro.checkpoint import (
     build_checkpoints,
     default_checkpoint_dir,
 )
+from repro.backends import (
+    BACKENDS,
+    ExecutorBackend,
+    LocalPoolBackend,
+    QueueBackend,
+    SerialBackend,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.config import MachineConfig, scaled_16way, scaled_8way
 from repro.core.procedure import recommended_warming
 from repro.core.stats import CONFIDENCE_95, CONFIDENCE_997, DEFAULT_EPSILON
+from repro.store import (
+    ArtifactCorruptionWarning,
+    ArtifactStore,
+    default_artifact_dir,
+    fingerprint,
+)
 from repro.workloads import (
     EXTRA_NAMES,
     SUITE_NAMES,
@@ -158,6 +174,9 @@ def __getattr__(name: str):
 __all__ = [
     "AGGREGATORS",
     "AdaptiveStrategy",
+    "ArtifactCorruptionWarning",
+    "ArtifactStore",
+    "BACKENDS",
     "CONFIDENCE_95",
     "CONFIDENCE_997",
     "CheckpointSet",
@@ -168,10 +187,14 @@ __all__ = [
     "EXPERIMENT_NAMES",
     "EXTRA_NAMES",
     "Executor",
+    "ExecutorBackend",
     "ExperimentContext",
     "GroupedResults",
+    "LocalPoolBackend",
     "MachineConfig",
+    "QueueBackend",
     "ResultSet",
+    "SerialBackend",
     "StaleCheckpointWarning",
     "RandomStrategy",
     "ResultCache",
@@ -189,10 +212,13 @@ __all__ = [
     "StudyReport",
     "SystematicStrategy",
     "build_checkpoints",
+    "default_artifact_dir",
     "default_checkpoint_dir",
     "default_context",
     "default_run_cache_dir",
     "estimate_metric",
+    "fingerprint",
+    "get_backend",
     "execute_spec",
     "extra_specs",
     "format_table",
@@ -200,8 +226,10 @@ __all__ = [
     "get_strategy",
     "get_study",
     "recommended_warming",
+    "register_backend",
     "register_strategy",
     "register_study",
+    "resolve_backend",
     "resolve_benchmark",
     "resolve_checkpoints",
     "resolve_machine",

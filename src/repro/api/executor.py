@@ -1,33 +1,28 @@
-"""Spec execution: benchmark/machine resolution, caching, parallelism.
+"""Spec execution: benchmark/machine resolution, caching, backends.
 
 :func:`execute_spec` turns one :class:`~repro.api.spec.RunSpec` into a
 :class:`~repro.api.spec.RunResult`.  :class:`Executor` runs batches of
-specs, consulting an on-disk JSON cache keyed by the spec's content hash
-and fanning cache misses across ``concurrent.futures``
-ProcessPoolExecutor workers.  Workers exchange plain dict payloads (the
-``to_dict`` forms), so nothing fancier than JSON-shaped data ever
-crosses the process boundary.
-
-The pool uses the ``fork`` start context where available: forked workers
-inherit the parent's interpreter state, which keeps benchmark
-construction bit-identical between serial and parallel execution.
+specs, consulting the result namespace of the content-addressed
+artifact store (:class:`~repro.store.ArtifactStore`) keyed by the
+spec's content hash, and handing cache misses to a pluggable
+:class:`~repro.backends.ExecutorBackend` — serial, local process pool,
+or a file-based work queue drained by separate worker processes.  All
+backends exchange plain dict payloads (the ``to_dict`` forms), so
+nothing fancier than JSON-shaped data ever crosses a process boundary,
+and all are bit-identical on ``estimates_dict()``.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import threading
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
 from repro.checkpoint import CheckpointStore
 from repro.config.machines import MachineConfig, get_config, scaled_16way, scaled_8way
 from repro.functional.simulator import measure_program_length
 from repro.isa.program import Program
-from repro.paths import project_cache_dir
+from repro.store import ArtifactStore, register_artifact_kind
 from repro.workloads.suite import get_benchmark, micro_benchmark
 from repro.api.spec import RunResult, RunSpec
 
@@ -116,18 +111,36 @@ def _execute_payload(payload: dict) -> dict:
 
 
 # ----------------------------------------------------------------------
-# On-disk result cache
+# On-disk result cache (the store's ``result`` namespace)
 # ----------------------------------------------------------------------
+register_artifact_kind("result", ".json", f"--v{CACHE_VERSION}.json")
+
+
 def default_run_cache_dir() -> Path:
-    """Directory used to cache run results (``REPRO_RUN_CACHE_DIR``)."""
-    return project_cache_dir("REPRO_RUN_CACHE_DIR", ".run_cache")
+    """Directory used to cache run results.
+
+    Now the ``result`` namespace of the artifact store:
+    ``REPRO_RUN_CACHE_DIR`` still wins as a legacy override, otherwise
+    ``<REPRO_ARTIFACT_DIR or .artifacts>/result``.
+    """
+    return ArtifactStore().namespace_dir("result")
 
 
 class ResultCache:
-    """JSON-file-per-spec result cache keyed by the spec content hash."""
+    """JSON-file-per-spec result cache keyed by the spec content hash.
 
-    def __init__(self, directory: Path | None = None, enabled: bool = True):
-        self.directory = Path(directory) if directory else default_run_cache_dir()
+    A thin adapter over the artifact store's ``result`` namespace.
+    Entries stay *raw* JSON (no checksum frame) so operators — and the
+    hardening tests — can read cache files directly with ``json.loads``.
+    """
+
+    def __init__(self, directory: Path | None = None, enabled: bool = True,
+                 store: ArtifactStore | None = None):
+        if store is None:
+            overrides = {"result": directory} if directory else None
+            store = ArtifactStore(enabled=enabled, overrides=overrides)
+        self.store = store
+        self.directory = store.namespace_dir("result")
         self.enabled = enabled
 
     def path(self, spec: RunSpec) -> Path:
@@ -137,47 +150,35 @@ class ResultCache:
     def get(self, spec: RunSpec) -> RunResult | None:
         if not self.enabled:
             return None
-        path = self.path(spec)
-        if not path.exists():
+        data = self.store.read_path(self.path(spec))
+        if data is None:
             return None
         try:
-            result = RunResult.from_json(path.read_text())
-        except (ValueError, KeyError, TypeError):
+            result = RunResult.from_json(data.decode())
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
             return None  # stale or corrupt entry: treat as a miss
         return result if result.spec == spec else None
 
     def put(self, result: RunResult) -> None:
         """Persist a result atomically; never raises on cache I/O failure.
 
-        Readers can only ever observe a complete entry: the payload is
-        written to a per-writer tmp file, flushed and fsynced, then
-        renamed over the final path with ``os.replace``.  Concurrent
-        writers of the same spec each rename their own file (last one
-        wins) instead of racing on a shared tmp path — which is what
-        lets many server worker threads/processes share one cache
-        directory.  An unwritable or full cache degrades to a warning:
-        the computed result is still returned to the caller, it is just
-        not memoized.
+        The store gives readers complete-entry-or-nothing semantics
+        (per-writer tmp file + fsync + ``os.replace``; concurrent
+        writers of the same spec last-rename-wins) — which is what lets
+        many server worker threads/processes share one cache directory.
+        An unwritable or full cache degrades to a warning: the computed
+        result is still returned to the caller, it is just not memoized.
         """
         if not self.enabled:
             return
         path = self.path(result.spec)
-        tmp = path.with_suffix(f".{os.getpid()}-{threading.get_ident()}.tmp")
         try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            with open(tmp, "w") as handle:
-                handle.write(result.to_json())
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
+            self.store.write_path(path, result.to_json().encode(),
+                                  checksum=False)
         except OSError as exc:
             warnings.warn(f"result cache write to {path} failed ({exc}); "
                           f"continuing without caching", RuntimeWarning,
                           stacklevel=2)
-            try:
-                tmp.unlink(missing_ok=True)
-            except OSError:
-                pass
 
     def stats(self) -> dict:
         """Entry counts and on-disk footprint, for service introspection.
@@ -213,18 +214,37 @@ class ResultCache:
 # Batch executor
 # ----------------------------------------------------------------------
 class Executor:
-    """Runs batches of RunSpecs with caching and optional parallelism.
+    """Runs batches of RunSpecs with caching over a pluggable backend.
 
-    ``max_workers`` <= 1 (or None) runs everything serially in-process;
-    larger values fan cache misses across a process pool.  Results come
-    back in spec order either way, and — because every spec is
-    deterministic — with identical estimates either way.
+    ``backend`` accepts an :class:`~repro.backends.ExecutorBackend`
+    instance, class, or registered name (``"serial"``, ``"local-pool"``,
+    ``"queue"``).  When None, ``REPRO_BACKEND`` is consulted, and
+    failing that the historical auto policy applies: ``max_workers``
+    <= 1 (or None) or a single cache miss runs serially in-process,
+    anything larger fans across the local process pool.  Results come
+    back in spec order on every backend, and — because every spec is
+    deterministic — with identical estimates on every backend.
     """
 
     def __init__(self, max_workers: int | None = None,
-                 cache: ResultCache | None = None):
+                 cache: ResultCache | None = None,
+                 backend=None):
         self.max_workers = max_workers
         self.cache = cache if cache is not None else ResultCache()
+        self.backend = backend
+
+    def _resolve_backend(self, n_misses: int, max_workers: int | None):
+        from repro.backends import (LocalPoolBackend, SerialBackend,
+                                    backend_from_env, resolve_backend)
+
+        if self.backend is not None:
+            return resolve_backend(self.backend)
+        ambient = backend_from_env()
+        if ambient is not None:
+            return ambient
+        if max_workers is None or max_workers <= 1 or n_misses == 1:
+            return SerialBackend()
+        return LocalPoolBackend()
 
     def run(self, specs: list[RunSpec],
             max_workers: int | None = None) -> list[RunResult]:
@@ -239,16 +259,17 @@ class Executor:
                 misses.append(i)
 
         if misses:
-            if max_workers is None or max_workers <= 1 or len(misses) == 1:
-                fresh = [execute_spec(specs[i]) for i in misses]
-            else:
+            backend = self._resolve_backend(len(misses), max_workers)
+            if backend.prebuild:
                 # Build any missing checkpoint sets once, up front: the
-                # on-disk store is the sharing medium, so workers load
-                # instead of racing to rebuild the same warming pass.
-                # Only specs that actually got a set mark their key as
-                # done — resolve_checkpoints declines some auto specs
-                # (e.g. functional_warming=False), and such a spec must
-                # not suppress the prebuild for an eligible twin.
+                # artifact store is the sharing medium, so concurrent
+                # workers (pool processes, queue workers on any host)
+                # load by key instead of racing to rebuild the same
+                # warming pass.  Only specs that actually got a set mark
+                # their key as done — resolve_checkpoints declines some
+                # auto specs (e.g. functional_warming=False), and such a
+                # spec must not suppress the prebuild for an eligible
+                # twin.
                 seen: set[tuple] = set()
                 for i in misses:
                     spec = specs[i]
@@ -256,23 +277,10 @@ class Executor:
                            getattr(spec.strategy, "unit_size", None))
                     if key not in seen and resolve_checkpoints(spec) is not None:
                         seen.add(key)
-                fresh = self._run_parallel([specs[i] for i in misses],
-                                           max_workers)
+            fresh = backend.run_specs([specs[i] for i in misses],
+                                      max_workers=max_workers,
+                                      use_cache=self.cache.enabled)
             for i, result in zip(misses, fresh):
                 self.cache.put(result)
                 results[i] = result
         return results  # type: ignore[return-value]
-
-    @staticmethod
-    def _run_parallel(specs: list[RunSpec],
-                      max_workers: int) -> list[RunResult]:
-        payloads = [spec.to_dict() for spec in specs]
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # platforms without fork
-            context = multiprocessing.get_context()
-        workers = min(max_workers, len(specs))
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=context) as pool:
-            return [RunResult.from_dict(data)
-                    for data in pool.map(_execute_payload, payloads)]

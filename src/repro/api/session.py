@@ -54,18 +54,25 @@ class Session:
         checkpoints: Default checkpoint mode (``"off"`` or ``"auto"``)
             applied by :meth:`estimate` when none is given explicitly;
             specs built elsewhere carry their own mode.
+        backend: Execution backend for cache misses — an
+            :class:`~repro.backends.ExecutorBackend` instance, class, or
+            registered name (``"serial"``, ``"local-pool"``,
+            ``"queue"``).  ``None`` consults ``REPRO_BACKEND``, then
+            falls back to the automatic serial/local-pool choice.
     """
 
     def __init__(self, max_workers: int | None = None,
                  cache_dir: str | Path | None = None,
                  use_cache: bool = True,
-                 checkpoints: str = "off"):
+                 checkpoints: str = "off",
+                 backend=None):
         if checkpoints not in ("off", "auto"):
             raise ValueError("checkpoints must be 'off' or 'auto'")
         self.checkpoints = checkpoints
         self.executor = Executor(
             max_workers=max_workers,
             cache=ResultCache(cache_dir, enabled=use_cache),
+            backend=backend,
         )
 
     # ------------------------------------------------------------------

@@ -97,11 +97,18 @@ class StudyContext:
             from repro.harness.reference import run_reference
 
             benchmark = self.benchmark(benchmark_name)
+            # When the study's sweeps run with checkpoints, let the
+            # reference pass capture the checkpoint set as it goes: one
+            # warm pass over the stream populates both the reference
+            # trace and the checkpoint store, and the separate
+            # functional build pass never runs.
             self._references[key] = run_reference(
                 benchmark.program,
                 self.machine(machine_name),
                 chunk_size=self.chunk_size,
                 use_cache=self.use_cache,
+                capture_units=(self.unit_size
+                               if self.checkpoints == "auto" else None),
             )
         return self._references[key]
 

@@ -1,0 +1,51 @@
+"""Pluggable executor backends.
+
+How a batch of cache-missing RunSpecs is executed is a transport
+choice, not a semantic one: every spec is deterministic, so the serial,
+local-pool, and queue backends all produce bit-identical
+``estimates_dict()`` rows.  Selection is by name — constructor argument
+(``Session(backend="queue")``), ``REPRO_BACKEND`` environment variable,
+or an :class:`ExecutorBackend` instance for configured cases — and
+unknown names raise errors listing what is registered, mirroring the
+sampling-strategy registry.
+
+Backends lean on :mod:`repro.store`: submitters prebuild checkpoint
+sets into the content-addressed store (when ``prebuild`` says to), and
+out-of-process workers fetch checkpoints, BBV profiles, and cached
+results by key instead of recomputing them.
+"""
+
+from repro.backends.base import (
+    BACKENDS,
+    ExecutorBackend,
+    backend_from_env,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.backends.local import LocalPoolBackend, SerialBackend
+from repro.backends.queue import (
+    DEFAULT_LEASE,
+    DEFAULT_MAX_ATTEMPTS,
+    FileWorkQueue,
+    QueueBackend,
+    default_queue_dir,
+)
+from repro.backends.worker import run_worker
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_LEASE",
+    "DEFAULT_MAX_ATTEMPTS",
+    "ExecutorBackend",
+    "FileWorkQueue",
+    "LocalPoolBackend",
+    "QueueBackend",
+    "SerialBackend",
+    "backend_from_env",
+    "default_queue_dir",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "run_worker",
+]

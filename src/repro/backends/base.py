@@ -1,0 +1,96 @@
+"""The executor-backend protocol and registry.
+
+A backend is *how* a batch of cache-missing RunSpecs gets executed —
+in-process, across a local process pool, or through a shared on-disk
+work queue drained by independent worker processes.  Backends are
+execution transports only: every spec is deterministic, so all backends
+are bit-identical on ``RunResult.estimates_dict()`` — the same golden
+contract the checkpoint subsystem carries, extended across process and
+host boundaries by the content-addressed artifact store (workers fetch
+checkpoint sets, BBV profiles, and cached results by key instead of
+rebuilding them).
+
+Selection mirrors the strategy registry: by name through
+:func:`get_backend` (``Session(backend="queue")``), or ambiently through
+the ``REPRO_BACKEND`` environment variable; an unknown name raises an
+error listing what is registered.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, ClassVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.spec import RunResult, RunSpec
+
+
+class ExecutorBackend(ABC):
+    """How a batch of (cache-missing) specs is executed.
+
+    Subclasses set ``name`` (the registry key) and ``prebuild``: whether
+    the submitting process should build missing checkpoint sets into the
+    shared store *before* dispatch, so concurrent workers load by key
+    instead of racing to rebuild one warming pass per worker.
+    """
+
+    name: ClassVar[str]
+    #: Whether the submitter prebuilds checkpoint sets before dispatch.
+    prebuild: ClassVar[bool] = True
+
+    @abstractmethod
+    def run_specs(self, specs: "list[RunSpec]", *,
+                  max_workers: int | None = None,
+                  use_cache: bool = True) -> "list[RunResult]":
+        """Execute ``specs`` and return their results, in order.
+
+        ``use_cache`` tells out-of-process workers whether results may
+        be read from / written to the shared result cache (the caller's
+        cache policy must reach them; in-process backends ignore it —
+        the surrounding :class:`~repro.api.executor.Executor` already
+        applied it).
+        """
+
+
+BACKENDS: dict[str, type[ExecutorBackend]] = {}
+
+
+def register_backend(cls: type[ExecutorBackend]) -> type[ExecutorBackend]:
+    """Class decorator adding a backend to the registry by its name."""
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+def get_backend(name: str) -> type[ExecutorBackend]:
+    """Look up a registered backend class by name."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise KeyError(f"unknown backend {name!r}; "
+                       f"available: {sorted(BACKENDS)}") from None
+
+
+def resolve_backend(backend) -> ExecutorBackend:
+    """Coerce a backend spec (name, class, or instance) to an instance."""
+    if isinstance(backend, ExecutorBackend):
+        return backend
+    if isinstance(backend, type) and issubclass(backend, ExecutorBackend):
+        return backend()
+    if isinstance(backend, str):
+        return get_backend(backend)()
+    raise TypeError(f"backend must be a name, ExecutorBackend subclass, or "
+                    f"instance, not {type(backend).__name__}")
+
+
+def backend_from_env() -> ExecutorBackend | None:
+    """The backend ``REPRO_BACKEND`` selects, or None when unset."""
+    name = os.environ.get("REPRO_BACKEND", "").strip()
+    if not name:
+        return None
+    try:
+        return get_backend(name)()
+    except KeyError:
+        raise ValueError(
+            f"REPRO_BACKEND names an unknown backend {name!r}; "
+            f"registered backends: {sorted(BACKENDS)}") from None

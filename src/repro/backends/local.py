@@ -1,0 +1,69 @@
+"""In-process and local-process-pool executor backends.
+
+These are the pre-backend execution paths of
+:class:`~repro.api.executor.Executor`, factored behind the
+:class:`~repro.backends.base.ExecutorBackend` protocol:
+:class:`SerialBackend` runs specs one after another in the calling
+process; :class:`LocalPoolBackend` fans them across a
+``concurrent.futures`` ProcessPoolExecutor using the ``fork`` start
+context where available (forked workers inherit the parent's
+interpreter state, which keeps benchmark construction bit-identical
+between serial and parallel execution).  Workers exchange plain dict
+payloads, so nothing fancier than JSON-shaped data crosses the process
+boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.backends.base import ExecutorBackend, register_backend
+
+
+@register_backend
+class SerialBackend(ExecutorBackend):
+    """Execute every spec in the calling process, one at a time."""
+
+    name = "serial"
+    #: Serial execution builds checkpoint sets lazily as specs need
+    #: them; there are no concurrent workers to race.
+    prebuild = False
+
+    def run_specs(self, specs, *, max_workers=None, use_cache=True):
+        from repro.api.executor import execute_spec
+
+        return [execute_spec(spec) for spec in specs]
+
+
+@register_backend
+class LocalPoolBackend(ExecutorBackend):
+    """Fan specs across a single-host process pool (the default)."""
+
+    name = "local-pool"
+    prebuild = True
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+
+    def run_specs(self, specs, *, max_workers=None, use_cache=True):
+        from repro.api.executor import _execute_payload, execute_spec
+        from repro.api.spec import RunResult
+
+        workers = (max_workers if max_workers is not None
+                   else self.max_workers)
+        if workers is None:
+            workers = os.cpu_count() or 2
+        workers = min(workers, len(specs))
+        if workers <= 1:
+            return [execute_spec(spec) for spec in specs]
+        payloads = [spec.to_dict() for spec in specs]
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork
+            context = multiprocessing.get_context()
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            return [RunResult.from_dict(data)
+                    for data in pool.map(_execute_payload, payloads)]

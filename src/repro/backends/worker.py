@@ -1,0 +1,111 @@
+"""The queue-worker loop behind ``repro-smarts worker``.
+
+A worker is a plain process pointed at a :class:`FileWorkQueue`
+directory.  It claims pending spec files one at a time, executes them
+with the same :func:`~repro.api.executor.execute_spec` the in-process
+backends use, and writes a ``done/`` envelope containing the result
+dict plus a small worker report (pid, whether the result came from the
+shared cache, and the instruction-accounting pass events the job
+produced — tests use the pass log to prove a worker *fetched*
+checkpoints by key rather than rebuilding them).
+
+While a job runs, a daemon thread refreshes the claim's mtime every
+quarter lease so crash recovery (:meth:`FileWorkQueue.requeue_stale`)
+can tell a slow worker from a dead one.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+
+from repro.backends.queue import DEFAULT_LEASE, FileWorkQueue
+
+
+class _Heartbeat:
+    """Daemon thread touching a claimed job's mtime every interval."""
+
+    def __init__(self, queue: FileWorkQueue, name: str, interval: float):
+        self._queue = queue
+        self._name = name
+        self._interval = max(interval, 0.05)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._queue.heartbeat(self._name)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5)
+
+
+def process_job(queue: FileWorkQueue, name: str, payload: dict) -> None:
+    """Execute one claimed job and write its terminal record."""
+    from repro.api.executor import ResultCache, execute_spec
+    from repro.api.spec import RunSpec
+    from repro.store import pass_events
+
+    spec = RunSpec.from_dict(payload["spec"])
+    use_cache = bool(payload.get("use_cache", True))
+    cache = ResultCache(enabled=use_cache)
+    mark = len(pass_events())
+    result = cache.get(spec)
+    cached = result is not None
+    if result is None:
+        result = execute_spec(spec)
+        cache.put(result)
+    queue.complete(name, result.to_dict(), worker={
+        "pid": os.getpid(),
+        "cached": cached,
+        "passes": [event.to_dict() for event in pass_events()[mark:]],
+    })
+
+
+def run_worker(queue_dir=None, *, poll: float = 0.2,
+               lease: float = DEFAULT_LEASE,
+               max_idle: float | None = None,
+               max_jobs: int | None = None) -> int:
+    """Drain jobs from the queue until idle; returns jobs processed.
+
+    Args:
+        queue_dir: Queue directory (default ``REPRO_QUEUE_DIR`` /
+            ``<artifact root>/queue``).
+        poll: Seconds to sleep when the queue is empty.
+        lease: Heartbeat lease; claims are refreshed every quarter of
+            it, and other processes may requeue claims staler than it.
+        max_idle: Exit after this many consecutive idle seconds
+            (None = run until killed, the long-lived-fleet shape).
+        max_jobs: Exit after this many jobs (None = unlimited).
+    """
+    queue = FileWorkQueue(queue_dir)
+    queue.ensure_dirs()
+    processed = 0
+    idle_since = time.monotonic()
+    while True:
+        queue.requeue_stale(lease)
+        claim = queue.claim_next()
+        if claim is None:
+            if (max_idle is not None
+                    and time.monotonic() - idle_since >= max_idle):
+                return processed
+            time.sleep(poll)
+            continue
+        name, payload = claim
+        with _Heartbeat(queue, name, interval=lease / 4):
+            try:
+                process_job(queue, name, payload)
+            except Exception:
+                queue.fail(name, traceback.format_exc(),
+                           worker={"pid": os.getpid()})
+        processed += 1
+        idle_since = time.monotonic()
+        if max_jobs is not None and processed >= max_jobs:
+            return processed

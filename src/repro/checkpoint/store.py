@@ -24,7 +24,6 @@ stride boundary, which lies on the same deterministic trajectory.
 from __future__ import annotations
 
 import lzma
-import os
 import pickle
 import warnings
 import zlib
@@ -39,7 +38,7 @@ from repro.functional.engine import create_core
 from repro.functional.simulator import FunctionalCore
 from repro.functional.warming import FunctionalWarmer, warming_pass
 from repro.isa.program import Program
-from repro.paths import project_cache_dir
+from repro.store import ArtifactStore, record_pass, register_artifact_kind
 from repro.checkpoint.snapshot import (
     CHECKPOINT_VERSION,
     Snapshot,
@@ -69,6 +68,10 @@ BBV_PROFILE_VERSION = 1
 #: window spans many snapshots (zlib's 32 KiB covers barely one), which
 #: is what lets the residual redundancy across strides compress away.
 _LZMA_PRESET = 6
+
+register_artifact_kind("checkpoint", ".ckpt",
+                       f"--v{CHECKPOINT_VERSION}.ckpt")
+register_artifact_kind("bbv", ".bbvp", f"--v{BBV_PROFILE_VERSION}.bbvp")
 
 
 def _pack(payload: dict) -> bytes:
@@ -218,6 +221,66 @@ class CheckpointSet:
         }
 
 
+class SnapshotRecorder:
+    """Accumulates the delta-encoded snapshots of one warm pass.
+
+    This is the capture half of :func:`build_checkpoints`, factored out
+    so the full-stream reference pass (:mod:`repro.harness.reference`)
+    can record the *same* snapshots while it produces the reference
+    trace — one pass, two artifact namespaces.  The first capture keeps
+    full warm state and register files; every later one stores only the
+    delta against its predecessor (see
+    :func:`repro.checkpoint.snapshot.micro_delta`).
+    """
+
+    def __init__(self) -> None:
+        self.snapshots: list[Snapshot] = []
+        self._previous: tuple[dict, list, list] | None = None
+
+    def capture(self, core: FunctionalCore, microarch: MicroarchState,
+                position: int, written: set[int]) -> None:
+        """Record one snapshot at stream ``position``.
+
+        ``written`` is the set of memory addresses stored to since the
+        previous capture (the per-stride memory delta).
+        """
+        memory = core.state.memory
+        state = core.state
+        micro_state = microarch.snapshot_state()
+        current = (micro_state, list(state.int_regs), list(state.fp_regs))
+        if self._previous is None:
+            micro, delta = micro_state, None
+            snap_int_regs, snap_fp_regs = current[1], current[2]
+        else:
+            micro = {}
+            snap_int_regs, snap_fp_regs = [], []
+            delta = micro_delta(self._previous, current)
+        self._previous = current
+        self.snapshots.append(Snapshot(
+            position=position,
+            pc=state.pc,
+            halted=state.halted,
+            int_regs=snap_int_regs,
+            fp_regs=snap_fp_regs,
+            mem_delta={addr: memory[addr] for addr in written},
+            micro=micro,
+            micro_delta=delta,
+        ))
+
+
+def snapshot_offsets(chunk: int, warm_align: int | None) -> tuple[int, ...]:
+    """The extra within-stride snapshot offsets a warming length implies.
+
+    A systematic run warms each unit from ``unit.start - W``; snapshots
+    at positions congruent to ``-W`` modulo the stride make those warm
+    starts exact restore points (see :func:`build_checkpoints`).
+    """
+    if not warm_align:
+        return ()
+    residue = (-int(warm_align)) % chunk
+    return (residue,) if residue else ()
+
+
 def build_checkpoints(
     program: Program,
     machine: MachineConfig,
@@ -252,42 +315,18 @@ def build_checkpoints(
     microarch.flush()
     warmer = FunctionalWarmer(microarch)
     chunk = unit_size * stride
-    extra_offsets: tuple[int, ...] = ()
-    if warm_align:
-        residue = (-int(warm_align)) % chunk
-        if residue:
-            extra_offsets = (residue,)
+    extra_offsets = snapshot_offsets(chunk, warm_align)
 
-    snapshots: list[Snapshot] = []
-    previous: tuple[dict, list, list] | None = None
+    recorder = SnapshotRecorder()
     for position, written in warming_pass(core, warmer, chunk, limit=limit,
                                           extra_offsets=extra_offsets):
-        memory = core.state.memory
-        state = core.state
-        micro_state = microarch.snapshot_state()
-        current = (micro_state, list(state.int_regs), list(state.fp_regs))
-        if previous is None:
-            micro, delta = micro_state, None
-            snap_int_regs, snap_fp_regs = current[1], current[2]
-        else:
-            micro = {}
-            snap_int_regs, snap_fp_regs = [], []
-            delta = micro_delta(previous, current)
-        previous = current
-        snapshots.append(Snapshot(
-            position=position,
-            pc=state.pc,
-            halted=state.halted,
-            int_regs=snap_int_regs,
-            fp_regs=snap_fp_regs,
-            mem_delta={addr: memory[addr] for addr in written},
-            micro=micro,
-            micro_delta=delta,
-        ))
+        recorder.capture(core, microarch, position, written)
+    snapshots = recorder.snapshots
     if not core.state.halted:
         raise RuntimeError(
             f"program {program.name!r} did not halt within {limit} "
             f"instructions; refusing to build a partial checkpoint set")
+    record_pass("checkpoint_build", program.name, core.instructions_retired)
     return CheckpointSet(
         benchmark=program.name,
         machine=machine.name,
@@ -304,8 +343,13 @@ def build_checkpoints(
 # On-disk store
 # ----------------------------------------------------------------------
 def default_checkpoint_dir() -> Path:
-    """Directory used to persist checkpoint sets (``REPRO_CHECKPOINT_DIR``)."""
-    return project_cache_dir("REPRO_CHECKPOINT_DIR", ".ckpt_cache")
+    """Directory used to persist checkpoint sets.
+
+    Now the ``checkpoint`` namespace of the artifact store:
+    ``REPRO_CHECKPOINT_DIR`` still wins as a legacy override, otherwise
+    ``<REPRO_ARTIFACT_DIR or .artifacts>/checkpoint``.
+    """
+    return ArtifactStore().namespace_dir("checkpoint")
 
 
 #: Process-wide cache of loaded sets keyed by (path, mtime_ns), so sweep
@@ -314,12 +358,26 @@ _LOADED: dict[tuple[str, int], CheckpointSet] = {}
 
 
 class CheckpointStore:
-    """File-per-set checkpoint store keyed by content fingerprints."""
+    """File-per-set checkpoint store keyed by content fingerprints.
+
+    A thin adapter over the artifact store's ``checkpoint`` and ``bbv``
+    namespaces.  Blobs are written through the store's checksum frame,
+    so a truncated or bit-rotted set is quarantined and rebuilt instead
+    of being unpickled; pre-store files (headerless) still read fine.
+    An explicit ``directory`` pins *both* namespaces to one flat
+    directory — the legacy layout, and what keeps per-test isolation
+    trivial.
+    """
 
     def __init__(self, directory: Path | str | None = None,
-                 enabled: bool = True):
-        self.directory = (Path(directory) if directory
-                          else default_checkpoint_dir())
+                 enabled: bool = True, store: ArtifactStore | None = None):
+        if store is None:
+            overrides = ({"checkpoint": directory, "bbv": directory}
+                         if directory else None)
+            store = ArtifactStore(enabled=enabled, overrides=overrides)
+        self.store = store
+        self.directory = store.namespace_dir("checkpoint")
+        self.bbv_directory = store.namespace_dir("bbv")
         self.enabled = enabled
 
     # ------------------------------------------------------------------
@@ -348,8 +406,11 @@ class CheckpointStore:
         cached = _LOADED.get(key)
         if cached is not None:
             return cached
+        blob = self.store.read_path(path)  # verifies checksum, quarantines
+        if blob is None:
+            return None
         try:
-            ckpt = CheckpointSet.from_payload(_unpack(path.read_bytes()))
+            ckpt = CheckpointSet.from_payload(_unpack(blob))
         except Exception:
             return None  # corrupt or unreadable: treat as a miss
         while len(_LOADED) >= 8:  # bound resident decoded sets
@@ -399,12 +460,7 @@ class CheckpointStore:
         path = self.path_for(program, machine, ckpt.unit_size)
         if not self.enabled:
             return path
-        self.directory.mkdir(parents=True, exist_ok=True)
-        blob = _pack(ckpt.to_payload())
-        tmp = path.with_suffix(f".{os.getpid()}.tmp")
-        tmp.write_bytes(blob)
-        tmp.replace(path)
-        return path
+        return self.store.write_path(path, _pack(ckpt.to_payload()))
 
     def get_or_build(self, program: Program, machine: MachineConfig,
                      unit_size: int, stride: int | None = None,
@@ -438,7 +494,7 @@ class CheckpointStore:
     def bbv_path_for(self, program: Program, interval_size: int,
                      limit: int | None = None) -> Path:
         tag = "full" if limit is None else str(limit)
-        return self.directory / (
+        return self.bbv_directory / (
             f"{self._slug(program.name)}--{program_fingerprint(program)}"
             f"--bbv-i{interval_size}-l{tag}--v{BBV_PROFILE_VERSION}.bbvp")
 
@@ -447,11 +503,14 @@ class CheckpointStore:
         """Load a cached BBV profile, or None on miss/mismatch."""
         if not self.enabled:
             return None
-        path = self.bbv_path_for(program, interval_size, limit)
+        blob = self.store.read_path(
+            self.bbv_path_for(program, interval_size, limit))
+        if blob is None:
+            return None
         try:
-            payload = pickle.loads(zlib.decompress(path.read_bytes()))
+            payload = pickle.loads(zlib.decompress(blob))
         except Exception:
-            return None  # missing, corrupt, or unreadable: a miss
+            return None  # corrupt or unreadable: a miss
         meta = payload.get("meta", {})
         if (meta.get("version") != BBV_PROFILE_VERSION
                 or meta.get("program_hash") != program_fingerprint(program)
@@ -465,7 +524,6 @@ class CheckpointStore:
         path = self.bbv_path_for(program, profile.interval_size, limit)
         if not self.enabled:
             return path
-        self.directory.mkdir(parents=True, exist_ok=True)
         payload = {
             "meta": {
                 "benchmark": program.name,
@@ -477,10 +535,7 @@ class CheckpointStore:
             "profile": profile,
         }
         blob = zlib.compress(pickle.dumps(payload, protocol=4), 6)
-        tmp = path.with_suffix(f".{os.getpid()}.tmp")
-        tmp.write_bytes(blob)
-        tmp.replace(path)
-        return path
+        return self.store.write_path(path, blob)
 
     def get_or_profile(self, program: Program, interval_size: int,
                        max_instructions: int | None = None):
@@ -531,9 +586,12 @@ class CheckpointStore:
         files are skipped (``gc`` removes them), never raised on.
         """
         rows = []
-        for path in sorted(self.directory.glob("*.bbvp")):
+        for path in sorted(self.bbv_directory.glob("*.bbvp")):
+            blob = self.store.read_path(path)
+            if blob is None:
+                continue
             try:
-                payload = pickle.loads(zlib.decompress(path.read_bytes()))
+                payload = pickle.loads(zlib.decompress(blob))
                 meta = dict(payload["meta"])
                 if meta.get("version") != BBV_PROFILE_VERSION:
                     continue
@@ -546,31 +604,16 @@ class CheckpointStore:
         return rows
 
     def gc(self, max_age_days: float | None = None,
-           remove_all: bool = False) -> list[Path]:
+           remove_all: bool = False, dry_run: bool = False) -> list[Path]:
         """Delete stale checkpoint files; returns the removed paths.
 
-        Always removes leftover ``*.tmp`` files and sets/profiles
-        written by a different format version; ``max_age_days``
-        additionally removes entries not touched within that window,
-        and ``remove_all`` empties the store (BBV profiles included).
+        Delegates to :meth:`ArtifactStore.gc` over the ``checkpoint``
+        and ``bbv`` namespaces: always removes leftover ``*.tmp`` files
+        and sets/profiles written by a different format version;
+        ``max_age_days`` additionally removes entries not touched within
+        that window, ``remove_all`` empties the store (BBV profiles
+        included), and ``dry_run`` reports without deleting.
         """
-        import time
-
-        removed = []
-        if not self.directory.is_dir():
-            return removed
-        now = time.time()
-        for path in sorted(self.directory.glob("*.tmp")):
-            path.unlink(missing_ok=True)
-            removed.append(path)
-        current = {".ckpt": f"--v{CHECKPOINT_VERSION}.ckpt",
-                   ".bbvp": f"--v{BBV_PROFILE_VERSION}.bbvp"}
-        for suffix, current_suffix in current.items():
-            for path in sorted(self.directory.glob(f"*{suffix}")):
-                stale_version = not path.name.endswith(current_suffix)
-                too_old = (max_age_days is not None and
-                           now - path.stat().st_mtime > max_age_days * 86400)
-                if remove_all or stale_version or too_old:
-                    path.unlink(missing_ok=True)
-                    removed.append(path)
-        return removed
+        return self.store.gc(namespaces=("checkpoint", "bbv"),
+                             max_age_days=max_age_days,
+                             remove_all=remove_all, dry_run=dry_run)

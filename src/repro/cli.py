@@ -29,6 +29,14 @@ Python:
   --queue-depth/--job-timeout`` tune the service.
 * ``repro-smarts jobs ls|gc`` — inspect and clean the on-disk ``.jobs/``
   records the server persists across restarts.
+* ``repro-smarts store ls|stats|gc`` — inspect and collect the unified
+  content-addressed artifact store (``.artifacts/``) every cache lives
+  in: run results, checkpoint sets, BBV profiles, reference traces.
+* ``repro-smarts worker`` — run a queue worker process draining the
+  file-based work queue of the ``queue`` executor backend (started by
+  ``QueueBackend`` per batch, or by hand for a standing worker fleet);
+  ``--backend``/``REPRO_BACKEND`` select the backend for ``sweep`` and
+  ``serve``.
 
 Every command accepts ``--machine {8-way,16-way}`` (the scaled Table 3
 configurations) and ``--scale`` to control benchmark length.
@@ -167,6 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--workers", type=int, default=None,
                        help="parallel worker processes (default: serial)")
+    sweep.add_argument("--backend", default=None,
+                       help="executor backend for cache misses (serial, "
+                            "local-pool, queue; default: REPRO_BACKEND or "
+                            "automatic)")
     sweep.add_argument("--json", action="store_true",
                        help="emit the RunResult payloads as JSON")
     sweep.add_argument("--no-cache", action="store_true",
@@ -267,6 +279,52 @@ def build_parser() -> argparse.ArgumentParser:
                     help="remove every checkpoint set")
     gc.add_argument("--max-age-days", type=float, default=None,
                     help="also remove sets older than this many days")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed without deleting "
+                         "(delegates to the artifact store's gc)")
+
+    store = sub.add_parser(
+        "store", help="inspect and collect the unified artifact store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_ls = store_sub.add_parser(
+        "ls", help="list stored artifacts per namespace")
+    store_ls.add_argument("--json", action="store_true",
+                          help="emit the artifact listing as JSON")
+    store_stats = store_sub.add_parser(
+        "stats", help="per-namespace entry counts and sizes")
+    store_stats.add_argument("--json", action="store_true",
+                             help="emit the stats payload as JSON")
+    store_gc = store_sub.add_parser(
+        "gc", help="remove stale artifacts (old versions, tmp litter, "
+                   "quarantined blobs)")
+    store_gc.add_argument("--all", action="store_true",
+                          help="remove every stored artifact")
+    store_gc.add_argument("--max-age-days", type=float, default=None,
+                          help="also remove artifacts older than this "
+                               "many days")
+    store_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be removed without "
+                               "deleting")
+    store_gc.add_argument("--namespaces", default=None,
+                          help="comma-separated namespaces to collect "
+                               "(default: all)")
+
+    worker = sub.add_parser(
+        "worker", help="run a queue-backend worker draining the shared "
+                       "file work queue")
+    worker.add_argument("--queue-dir", default=None,
+                        help="work-queue directory (default: "
+                             "REPRO_QUEUE_DIR or <artifacts>/queue)")
+    worker.add_argument("--poll", type=float, default=0.2,
+                        help="seconds between queue polls when idle")
+    worker.add_argument("--lease", type=float, default=None,
+                        help="claim lease in seconds; claims with no "
+                             "heartbeat for this long are requeued")
+    worker.add_argument("--max-idle", type=float, default=None,
+                        help="exit after this many consecutive idle "
+                             "seconds (default: run forever)")
+    worker.add_argument("--max-jobs", type=int, default=None,
+                        help="exit after processing this many jobs")
 
     serve = sub.add_parser(
         "serve", help="run the simulation-as-a-service HTTP job server")
@@ -283,6 +341,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-cache", action="store_true",
                        help="bypass the shared run-result cache (every "
                             "submission simulates)")
+    serve.add_argument("--backend", default=None,
+                       help="executor backend for spec execution (serial, "
+                            "local-pool, queue; default: REPRO_BACKEND or "
+                            "automatic)")
 
     jobs = sub.add_parser(
         "jobs", help="inspect and clean the server's on-disk job records")
@@ -403,7 +465,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if _reject_unknown(machines, MACHINE_NAMES, "machine"):
         return 2
     strategy = STRATEGIES[args.strategy]()
-    session = Session(use_cache=not args.no_cache)
+    session = Session(use_cache=not args.no_cache, backend=args.backend)
     specs = session.sweep_specs(
         benchmarks=benchmarks, machines=machines, strategy=strategy,
         scale=args.scale, metric=args.metric, seed=args.seed,
@@ -501,9 +563,12 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
                  for p in profiles],
                 title=f"BBV profiles ({len(profiles)})"))
         return 0
-    # gc
-    removed = store.gc(max_age_days=args.max_age_days, remove_all=args.all)
-    print(f"removed {len(removed)} file(s) from {store.directory}")
+    # gc — delegates to the unified artifact store (checkpoint + bbv
+    # namespaces only; `repro-smarts store gc` collects everything).
+    removed = store.gc(max_age_days=args.max_age_days, remove_all=args.all,
+                       dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"{verb} {len(removed)} file(s) from {store.directory}")
     for path in removed:
         print(f"  {path.name}")
     return 0
@@ -650,6 +715,72 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import NAMESPACES, ArtifactStore
+
+    store = ArtifactStore()
+    if args.store_command == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        rows = [[name, ns["entries"], ns["files"],
+                 f"{ns['size_bytes'] / 1024:.0f} KiB", ns["directory"]]
+                for name, ns in sorted(stats["namespaces"].items())]
+        print(format_table(
+            ["namespace", "entries", "files", "size", "directory"], rows,
+            title=f"Artifact store: {stats['root']} "
+                  f"({stats['size_bytes'] / 1024:.0f} KiB, "
+                  f"{stats['quarantined']} quarantined)"))
+        return 0
+    if args.store_command == "ls":
+        entries = []
+        for namespace in NAMESPACES:
+            directory = store.namespace_dir(namespace)
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.iterdir()):
+                if path.is_file() and not path.name.endswith(".tmp"):
+                    entries.append({"namespace": namespace,
+                                    "name": path.name,
+                                    "size_bytes": path.stat().st_size})
+        if args.json:
+            print(json.dumps({"root": str(store.root), "artifacts": entries},
+                             indent=2, sort_keys=True))
+            return 0
+        print(format_table(
+            ["namespace", "artifact", "size"],
+            [[e["namespace"], e["name"],
+              f"{e['size_bytes'] / 1024:.0f} KiB"] for e in entries],
+            title=f"Artifact store: {store.root} "
+                  f"({len(entries)} artifacts)"))
+        return 0
+    # gc
+    namespaces = (tuple(_split_names(args.namespaces)) if args.namespaces
+                  else None)
+    if namespaces and _reject_unknown(list(namespaces), NAMESPACES,
+                                      "namespace"):
+        return 2
+    removed = store.gc(namespaces=namespaces,
+                       max_age_days=args.max_age_days,
+                       remove_all=args.all, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"{verb} {len(removed)} file(s) from {store.root}")
+    for path in removed:
+        print(f"  {path.name}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.backends import DEFAULT_LEASE, run_worker
+
+    lease = DEFAULT_LEASE if args.lease is None else args.lease
+    processed = run_worker(args.queue_dir, poll=args.poll, lease=lease,
+                           max_idle=args.max_idle, max_jobs=args.max_jobs)
+    print(f"worker exiting after {processed} job(s)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import ServerConfig, serve
 
@@ -660,6 +791,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         job_timeout=args.job_timeout,
         use_cache=not args.no_cache,
+        backend=args.backend,
     ))
 
 
@@ -712,6 +844,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_study(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "store":
+            return _cmd_store(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "jobs":

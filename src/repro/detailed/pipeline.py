@@ -113,7 +113,8 @@ class DetailedSimulator:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, core: FunctionalCore, count: int) -> PipelineCounters:
+    def run(self, core: FunctionalCore, count: int,
+            written: set[int] | None = None) -> PipelineCounters:
         """Simulate up to ``count`` instructions in detail.
 
         Returns the counters (including elapsed cycles) for exactly the
@@ -121,6 +122,11 @@ class DetailedSimulator:
         over across consecutive ``run`` calls within one period, so a
         warming call followed by a measurement call behaves like one
         continuous stretch of detailed simulation.
+
+        ``written`` (when given) collects the memory addresses stored to
+        by this call, letting a full-stream reference pass record the
+        same per-stride memory deltas the functional checkpoint builder
+        derives from :func:`~repro.functional.warming.warming_pass`.
         """
         config = self.config
         hierarchy = self.microarch.hierarchy
@@ -271,6 +277,8 @@ class DetailedSimulator:
             elif dyn.is_store:
                 counters.stores += 1
                 counters.l1d_accesses += 1
+                if written is not None:
+                    written.add(dyn.mem_addr)
                 result = hierarchy.access_data(dyn.mem_addr, True)
                 if result.tlb_miss:
                     counters.dtlb_misses += 1

@@ -323,6 +323,7 @@ def measure_program_length(program: Program, limit: int = 200_000_000) -> int:
     full functional simulation).
     """
     from repro.functional.engine import create_core  # deferred: avoids cycle
+    from repro.store import record_pass  # deferred: avoids cycle
 
     core = create_core(program)
     executed = core.run_to_completion(limit=limit)
@@ -330,4 +331,5 @@ def measure_program_length(program: Program, limit: int = 200_000_000) -> int:
         raise RuntimeError(
             f"program {program.name!r} did not halt within {limit} instructions"
         )
+    record_pass("measure_length", program.name, executed)
     return executed

@@ -5,13 +5,22 @@ cycle-by-cycle traces of instruction commits in sim-outorder for the
 entire length of each benchmark" (Section 3.2).  This module produces
 the equivalent for our synthetic suite — a full detailed simulation of
 every benchmark with per-chunk cycle and energy traces — and caches the
-result on disk because the experiments (Figures 2, 3, 5, 6, 7, 8 and
-Tables 4, 5) all reuse it.
+result in the artifact store's ``reftrace`` namespace because the
+experiments (Figures 2, 3, 5, 6, 7, 8 and Tables 4, 5) all reuse it.
+
+The reference pass can also *capture checkpoints* while it runs
+(``capture_units``): warm microarchitectural state evolves identically
+under functional warming and detailed simulation (the path-independence
+contract the checkpoint subsystem rests on), so the full-stream
+detailed pass records the same per-stride snapshots a functional
+checkpoint build would — one warm pass populates both the ``reftrace``
+and ``checkpoint`` namespaces, and study workflows skip the separate
+functional build pass entirely.
 """
 
 from __future__ import annotations
 
-import os
+import io
 import time
 from pathlib import Path
 
@@ -19,11 +28,26 @@ import numpy as np
 
 from repro.config.machines import MachineConfig
 from repro.core.estimates import ReferenceResult
+from repro.core.procedure import recommended_warming
+from repro.detailed.counters import PipelineCounters
 from repro.detailed.pipeline import DetailedSimulator
 from repro.detailed.state import MicroarchState
 from repro.energy.wattch import EnergyModel
 from repro.functional.engine import create_core
+from repro.functional.warming import _boundaries
 from repro.isa.program import Program
+from repro.store import ArtifactStore, record_pass, register_artifact_kind
+from repro.checkpoint.snapshot import (
+    machine_warm_fingerprint,
+    program_fingerprint,
+)
+from repro.checkpoint.store import (
+    DEFAULT_STRIDE,
+    CheckpointSet,
+    CheckpointStore,
+    SnapshotRecorder,
+    snapshot_offsets,
+)
 
 #: Bump when simulator behaviour changes in a way that invalidates caches.
 CACHE_VERSION = 3
@@ -31,13 +55,20 @@ CACHE_VERSION = 3
 #: Default per-chunk granularity of the reference trace (instructions).
 DEFAULT_CHUNK_SIZE = 25
 
+register_artifact_kind("reftrace", ".npz", f"--v{CACHE_VERSION}.npz")
+
 
 def default_cache_dir() -> Path:
-    """Directory used to cache reference traces."""
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return Path(env)
-    return Path(__file__).resolve().parents[3] / ".ref_cache"
+    """Directory used to cache reference traces.
+
+    Now the ``reftrace`` namespace of the artifact store:
+    ``REPRO_REF_CACHE_DIR`` (and the older ``REPRO_CACHE_DIR``) still
+    win as legacy overrides, otherwise
+    ``<REPRO_ARTIFACT_DIR or .artifacts>/reftrace``.  This also retires
+    the old hard-coded ``parents[3]/.ref_cache`` fallback, which broke
+    for installed (non-src-layout) packages.
+    """
+    return ArtifactStore().namespace_dir("reftrace")
 
 
 def _program_digest(program: Program) -> str:
@@ -71,6 +102,8 @@ def run_reference(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     use_cache: bool = True,
     cache_dir: Path | None = None,
+    capture_units: int | None = None,
+    checkpoint_store: CheckpointStore | None = None,
 ) -> ReferenceResult:
     """Run (or load) the full-stream detailed simulation of a benchmark.
 
@@ -78,30 +111,64 @@ def run_reference(
     ``chunk_energy`` arrays hold the cycle and energy cost of every
     ``chunk_size``-instruction slice of the stream, enabling CPI / EPI
     aggregation at any unit size that is a multiple of ``chunk_size``.
+
+    ``capture_units`` (a sampling-unit size) additionally captures the
+    checkpoint set of that unit size *during* the reference pass and
+    stores it through ``checkpoint_store`` (default: the shared store),
+    unless a matching set already exists.  The snapshots land on the
+    same positions a functional build would use, and since warm state
+    evolves identically under both paths, the stored set is
+    bit-equivalent to a functionally built one.  Capture splits the
+    simulation at snapshot positions; per-chunk counters accumulate
+    across the splits, so the trace itself is unchanged.
     """
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
-    cache_dir = cache_dir or default_cache_dir()
-    path = _cache_path(program, machine.name, chunk_size, cache_dir)
+    store = ArtifactStore(
+        overrides={"reftrace": cache_dir} if cache_dir else None)
+    path = _cache_path(program, machine.name, chunk_size,
+                       store.namespace_dir("reftrace"))
 
-    if use_cache and path.exists():
-        data = np.load(path)
-        return ReferenceResult(
-            benchmark=program.name,
-            machine=machine.name,
-            instructions=int(data["instructions"]),
-            cycles=int(data["cycles"]),
-            energy=float(data["energy"]),
-            chunk_size=chunk_size,
-            chunk_cycles=data["chunk_cycles"],
-            chunk_energy=data["chunk_energy"],
-            seconds=float(data["seconds"]),
-        )
+    if use_cache:
+        blob = store.read_path(path)
+        if blob is not None:
+            data = np.load(io.BytesIO(blob))
+            return ReferenceResult(
+                benchmark=program.name,
+                machine=machine.name,
+                instructions=int(data["instructions"]),
+                cycles=int(data["cycles"]),
+                energy=float(data["energy"]),
+                chunk_size=chunk_size,
+                chunk_cycles=data["chunk_cycles"],
+                chunk_energy=data["chunk_energy"],
+                seconds=float(data["seconds"]),
+            )
 
     core = create_core(program)
     microarch = MicroarchState(machine)
     detailed = DetailedSimulator(machine, microarch)
     energy_model = EnergyModel(machine)
+
+    # Snapshot capture piggybacks on the pass: same boundary grid as
+    # build_checkpoints (stride plus the detailed-warming offset), with
+    # the stored-address set feeding the per-stride memory deltas.
+    recorder = None
+    written: set[int] | None = None
+    next_snap = None
+    if capture_units is not None and capture_units > 0:
+        if checkpoint_store is None:
+            checkpoint_store = CheckpointStore()
+        if (checkpoint_store.enabled
+                and checkpoint_store.get(program, machine,
+                                         capture_units) is None):
+            ckpt_chunk = capture_units * DEFAULT_STRIDE
+            offsets = snapshot_offsets(ckpt_chunk,
+                                       recommended_warming(machine))
+            boundary_iter = _boundaries(0, ckpt_chunk, offsets)
+            next_snap = next(boundary_iter)
+            recorder = SnapshotRecorder()
+            written = set()
 
     chunk_cycles: list[int] = []
     chunk_energy: list[float] = []
@@ -111,8 +178,29 @@ def run_reference(
 
     start = time.perf_counter()
     detailed.begin_period()
+    position = 0
     while True:
-        counters = detailed.run(core, chunk_size)
+        # One trace chunk, split at snapshot positions when capturing.
+        # PipelineCounters telescope exactly across consecutive run()
+        # calls (cycles are commit-clock differences), so the chunk
+        # counters — and therefore the trace — are bit-identical with
+        # capture on or off.
+        counters = PipelineCounters()
+        chunk_end = position + chunk_size
+        while position < chunk_end:
+            target = chunk_end
+            if next_snap is not None and next_snap < target:
+                target = next_snap
+            segment = detailed.run(core, target - position, written)
+            counters.add(segment)
+            position += segment.instructions
+            if recorder is not None and position == next_snap:
+                recorder.capture(core, microarch, position, written)
+                written = set()
+                next_snap = next(boundary_iter)
+            if segment.instructions < target - (position
+                                                - segment.instructions):
+                break  # program halted mid-segment
         if counters.instructions == 0:
             break
         chunk_total_energy = energy_model.total_energy(counters)
@@ -127,6 +215,22 @@ def run_reference(
         chunk_cycles.append(counters.cycles)
         chunk_energy.append(chunk_total_energy)
     seconds = time.perf_counter() - start
+    record_pass("reference", program.name, total_instructions)
+
+    if recorder is not None and core.state.halted:
+        # Mirrors build_checkpoints' refusal to store a partial set: a
+        # non-halting pass (impossible here — the loop above runs to
+        # halt) would leave snapshots past a restore anyone performs.
+        checkpoint_store.put(CheckpointSet(
+            benchmark=program.name,
+            machine=machine.name,
+            program_hash=program_fingerprint(program),
+            machine_hash=machine_warm_fingerprint(machine),
+            unit_size=capture_units,
+            stride=DEFAULT_STRIDE,
+            benchmark_length=core.instructions_retired,
+            snapshots=recorder.snapshots,
+        ), program, machine)
 
     result = ReferenceResult(
         benchmark=program.name,
@@ -141,9 +245,9 @@ def run_reference(
     )
 
     if use_cache:
-        cache_dir.mkdir(parents=True, exist_ok=True)
+        buffer = io.BytesIO()
         np.savez_compressed(
-            path,
+            buffer,
             instructions=result.instructions,
             cycles=result.cycles,
             energy=result.energy,
@@ -151,6 +255,7 @@ def run_reference(
             chunk_energy=result.chunk_energy,
             seconds=result.seconds,
         )
+        store.write_path(path, buffer.getvalue())
     return result
 
 

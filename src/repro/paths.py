@@ -13,10 +13,19 @@ import os
 from pathlib import Path
 
 
-def project_cache_dir(env_var: str, dirname: str) -> Path:
-    env = os.environ.get(env_var)
-    if env:
-        return Path(env)
+def project_cache_dir(env_var: str | tuple[str, ...], dirname: str) -> Path:
+    """Resolve a cache directory from env overrides or the project root.
+
+    ``env_var`` may be a single variable name or a chain tried in order
+    (first set one wins) — the chains are how legacy per-cache variables
+    keep working while their caches move into the unified artifact
+    store.
+    """
+    names = (env_var,) if isinstance(env_var, str) else env_var
+    for name in names:
+        env = os.environ.get(name)
+        if env:
+            return Path(env)
     root = Path(__file__).resolve().parents[2]
     if (root / "src" / "repro").is_dir():
         return root / dirname

@@ -47,6 +47,9 @@ class ServerConfig:
     use_cache: bool = True
     max_body_bytes: int = 1 << 20
     study_context: object | None = None
+    #: Executor backend for spec execution (name, class, or instance);
+    #: None consults REPRO_BACKEND, then the automatic choice.
+    backend: object | None = None
 
 
 class _BadRequest(Exception):
@@ -89,7 +92,8 @@ class ReproApp:
     def __init__(self, config: ServerConfig):
         self.config = config
         self.session = Session(cache_dir=config.cache_dir,
-                               use_cache=config.use_cache)
+                               use_cache=config.use_cache,
+                               backend=config.backend)
         self.store = JobStore(config.jobs_dir)
         self.queue = JobQueue(
             session=self.session,

@@ -196,9 +196,11 @@ def handle_study_report(app, request, job_id: str) -> Response:
 
 
 def handle_cache_stats(app, request) -> Response:
-    stats = app.session.executor.cache.stats()
+    cache = app.session.executor.cache
+    stats = cache.stats()
     stats["hits"] = app.queue.hits
     stats["misses"] = app.queue.misses
+    stats["artifact_store"] = cache.store.stats()
     return Response.json(200, stats)
 
 

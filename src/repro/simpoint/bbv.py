@@ -96,6 +96,9 @@ def profile_bbv(program: Program, interval_size: int,
     row_sums = matrix.sum(axis=1, keepdims=True)
     row_sums[row_sums == 0.0] = 1.0
     matrix = matrix / row_sums
+    from repro.store import record_pass  # deferred: avoids cycle
+
+    record_pass("bbv_profile", program.name, total)
     return BBVProfile(
         benchmark=program.name,
         interval_size=interval_size,

@@ -1,0 +1,70 @@
+"""Instruction-count accounting of full-stream simulation passes.
+
+SMARTS runtime is dominated by full passes over the instruction stream
+(functional warming, reference simulation, checkpoint builds, BBV
+profiling).  The artifact store exists to make each such pass happen
+*once*; this module is the ledger that proves it.  Every producer of a
+full-stream pass calls :func:`record_pass` with the pass kind and the
+number of instructions it executed, and tests (plus queue-worker result
+envelopes) read the log back to assert that work was fetched by key
+from the store instead of recomputed — e.g. that one reference pass
+with checkpoint capture enabled leaves no ``checkpoint_build`` pass
+behind it.
+
+The log is process-local and append-only; it is bookkeeping, not a
+side channel — nothing in the simulator reads it back to make
+decisions, so recording is always safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+#: Pass kinds currently recorded (informational; the log is open-ended).
+PASS_KINDS = (
+    "reference",        # full-stream detailed simulation (harness.reference)
+    "checkpoint_build",  # functional-warming checkpoint build pass
+    "measure_length",   # functional pass measuring dynamic length
+    "bbv_profile",      # BBV profiling pass (stratified/SimPoint)
+)
+
+
+@dataclass(frozen=True)
+class PassEvent:
+    """One recorded full-stream pass."""
+
+    kind: str
+    benchmark: str
+    instructions: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+_EVENTS: list[PassEvent] = []
+
+
+def record_pass(kind: str, benchmark: str, instructions: int) -> PassEvent:
+    """Append one full-stream pass to the process-local ledger."""
+    event = PassEvent(kind=kind, benchmark=str(benchmark),
+                      instructions=int(instructions))
+    _EVENTS.append(event)
+    return event
+
+
+def pass_events() -> list[PassEvent]:
+    """The recorded passes, in order (a copy; safe to mutate)."""
+    return list(_EVENTS)
+
+
+def reset_pass_log() -> None:
+    """Clear the ledger (test isolation)."""
+    _EVENTS.clear()
+
+
+def instructions_by_kind() -> dict[str, int]:
+    """Total instructions executed per pass kind."""
+    totals: dict[str, int] = {}
+    for event in _EVENTS:
+        totals[event.kind] = totals.get(event.kind, 0) + event.instructions
+    return totals

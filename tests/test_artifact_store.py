@@ -1,0 +1,302 @@
+"""Tests for repro.store: the content-addressed artifact store.
+
+Covers the three disciplines every artifact gets — atomic writes,
+checksum-verified reads with quarantine, version-based gc — plus the
+fingerprint scheme, the pass-accounting ledger, and the concurrent-put
+contract (one winner, never a torn read).
+"""
+
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.api  # noqa: F401 — registers the result artifact kind
+from repro.api.executor import CACHE_VERSION
+from repro.store import (
+    NAMESPACES,
+    ArtifactCorruptionWarning,
+    ArtifactStore,
+    default_artifact_dir,
+    fingerprint,
+    instructions_by_kind,
+    pass_events,
+    record_pass,
+    registered_kinds,
+    reset_pass_log,
+)
+
+#: Legacy env vars that would redirect namespaces away from the root.
+_ENV_VARS = ("REPRO_ARTIFACT_DIR", "REPRO_RUN_CACHE_DIR",
+             "REPRO_CHECKPOINT_DIR", "REPRO_REF_CACHE_DIR",
+             "REPRO_CACHE_DIR")
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    for var in _ENV_VARS:
+        monkeypatch.delenv(var, raising=False)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(root=tmp_path / "artifacts")
+
+
+class TestLayout:
+    def test_default_root_honors_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "custom"))
+        assert default_artifact_dir() == tmp_path / "custom"
+
+    def test_namespace_dir_default(self, store):
+        assert store.namespace_dir("result") == store.root / "result"
+
+    def test_namespace_dir_env_chain(self, store, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "old"))
+        assert store.namespace_dir("reftrace") == tmp_path / "old"
+        monkeypatch.setenv("REPRO_REF_CACHE_DIR", str(tmp_path / "new"))
+        assert store.namespace_dir("reftrace") == tmp_path / "new"
+
+    def test_explicit_override_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RUN_CACHE_DIR", str(tmp_path / "env"))
+        store = ArtifactStore(root=tmp_path,
+                              overrides={"result": tmp_path / "explicit"})
+        assert store.namespace_dir("result") == tmp_path / "explicit"
+
+    def test_unknown_namespace_rejected(self, store):
+        with pytest.raises(ValueError, match="unknown namespace"):
+            store.namespace_dir("nope")
+
+    def test_registered_kinds_cover_all_namespaces(self):
+        # Importing repro.api pulls in every adapter, so each namespace
+        # has at least one registered kind (gc can classify its files).
+        import repro.harness.reference  # noqa: F401
+
+        kinds = registered_kinds()
+        assert set(kinds) == set(NAMESPACES)
+
+
+class TestFingerprint:
+    def test_deterministic_and_order_insensitive(self):
+        a = fingerprint({"x": 1, "y": [2, 3]})
+        b = fingerprint({"y": [2, 3], "x": 1})
+        assert a == b
+        assert len(a) == 16
+        assert int(a, 16) >= 0
+
+    def test_content_sensitive(self):
+        assert fingerprint({"x": 1}) != fingerprint({"x": 2})
+
+
+class TestBlobIO:
+    def test_checksummed_roundtrip(self, store):
+        payload = b"\x00\x01binary payload\xff" * 100
+        path = store.put("checkpoint", "a--v1.ckpt", payload)
+        assert path.read_bytes().startswith(b"REPROART1\n")
+        assert store.get("checkpoint", "a--v1.ckpt") == payload
+
+    def test_raw_roundtrip_stays_parseable(self, store):
+        payload = json.dumps({"k": 1}).encode()
+        path = store.put("result", "r--v1.json", payload, checksum=False)
+        assert json.loads(path.read_text()) == {"k": 1}
+        assert store.get("result", "r--v1.json") == payload
+
+    def test_miss_returns_none(self, store):
+        assert store.get("result", "missing.json") is None
+
+    def test_write_leaves_no_tmp_litter(self, store):
+        store.put("bbv", "p--v1.bbvp", b"data")
+        assert not list(store.namespace_dir("bbv").glob("*.tmp"))
+
+    def test_disabled_store_never_touches_disk(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "off", enabled=False)
+        store.put("result", "a.json", b"data")
+        assert store.get("result", "a.json") is None
+        assert not (tmp_path / "off").exists()
+
+
+class TestCorruption:
+    def _corrupt(self, path: Path) -> None:
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+    def test_corrupt_blob_quarantined(self, store):
+        path = store.put("checkpoint", "c--v1.ckpt", b"payload" * 50)
+        self._corrupt(path)
+        with pytest.warns(ArtifactCorruptionWarning):
+            assert store.get("checkpoint", "c--v1.ckpt") is None
+        assert not path.exists()
+        quarantined = list(store.quarantine_dir.iterdir())
+        assert len(quarantined) == 1
+        assert quarantined[0].name.endswith("c--v1.ckpt")
+
+    def test_truncated_blob_quarantined(self, store):
+        path = store.put("checkpoint", "t--v1.ckpt", b"payload" * 50)
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.warns(ArtifactCorruptionWarning):
+            assert store.get("checkpoint", "t--v1.ckpt") is None
+        assert not path.exists()
+
+    def test_headerless_file_returned_raw(self, store):
+        # Legacy artifacts predate the frame: returned as-is, never
+        # quarantined (the adapter's parser decides what a miss is).
+        path = store.path("reftrace", "legacy.npz")
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a framed artifact")
+        assert store.get("reftrace", "legacy.npz") == b"not a framed artifact"
+        assert path.exists()
+
+    def test_get_or_create_rebuilds_after_corruption(self, store):
+        calls = []
+
+        def builder() -> bytes:
+            calls.append(1)
+            return b"rebuilt payload"
+
+        assert store.get_or_create("bbv", "b--v1.bbvp", builder) \
+            == b"rebuilt payload"
+        assert store.get_or_create("bbv", "b--v1.bbvp", builder) \
+            == b"rebuilt payload"
+        assert len(calls) == 1  # second call memoized
+        self._corrupt(store.path("bbv", "b--v1.bbvp"))
+        with pytest.warns(ArtifactCorruptionWarning):
+            assert store.get_or_create("bbv", "b--v1.bbvp", builder) \
+                == b"rebuilt payload"
+        assert len(calls) == 2  # corruption forced a rebuild
+        assert store.get("bbv", "b--v1.bbvp") == b"rebuilt payload"
+
+    def test_get_or_create_survives_unwritable_store(self, tmp_path):
+        target = tmp_path / "file-not-dir"
+        target.write_text("occupied")
+        store = ArtifactStore(root=tmp_path,
+                              overrides={"result": target / "sub"})
+        with pytest.warns(RuntimeWarning, match="artifact store write"):
+            data = store.get_or_create("result", "a.json", lambda: b"built")
+        assert data == b"built"
+
+
+def _hammer_put(root: str, name: str, seed: int) -> None:
+    """Write one distinct (but internally consistent) payload repeatedly."""
+    store = ArtifactStore(root=root)
+    payload = bytes([seed]) * 65536
+    for _ in range(40):
+        store.put("checkpoint", name, payload)
+
+
+class TestConcurrentPut:
+    def test_concurrent_same_key_one_winner_never_torn(self, store):
+        """Two processes racing on one key: reads always verify.
+
+        Every read during the race must return one writer's complete
+        payload — a torn read would fail the checksum and quarantine,
+        which the test would observe as a warning or a missing file.
+        """
+        name = f"race--v{CACHE_VERSION}.ckpt"
+        ctx = multiprocessing.get_context("fork")
+        writers = [ctx.Process(target=_hammer_put,
+                               args=(str(store.root), name, seed))
+                   for seed in (1, 2)]
+        for proc in writers:
+            proc.start()
+        observed = set()
+        deadline = time.time() + 20
+        try:
+            while any(p.is_alive() for p in writers):
+                data = store.get("checkpoint", name)
+                if data is not None:
+                    assert len(data) == 65536
+                    assert data in (b"\x01" * 65536, b"\x02" * 65536)
+                    observed.add(data[0])
+                assert time.time() < deadline, "writers wedged"
+        finally:
+            for proc in writers:
+                proc.join(timeout=30)
+        assert all(p.exitcode == 0 for p in writers)
+        assert observed  # the race was actually observed mid-flight
+        final = store.get("checkpoint", name)
+        assert final in (b"\x01" * 65536, b"\x02" * 65536)
+        assert not store.quarantine_dir.exists()  # no torn read ever seen
+
+
+class TestStatsAndGc:
+    def test_stats_counts_entries_and_quarantine(self, store):
+        store.put("result", f"a--v{CACHE_VERSION}.json", b"{}",
+                  checksum=False)
+        store.put("result", "b--v0.json", b"{}", checksum=False)
+        path = store.put("checkpoint", "c--v1.ckpt", b"payload")
+        path.write_bytes(b"REPROART1\n" + b"0" * 64 + b"\nbad")
+        with pytest.warns(ArtifactCorruptionWarning):
+            store.get("checkpoint", "c--v1.ckpt")
+        stats = store.stats()
+        assert stats["root"] == str(store.root)
+        assert stats["namespaces"]["result"]["files"] == 2
+        assert stats["namespaces"]["result"]["entries"] == 1  # current only
+        assert stats["quarantined"] == 1
+        assert stats["size_bytes"] > 0
+
+    def test_gc_removes_stale_versions_and_tmp_only(self, store):
+        current = store.put("result", f"a--v{CACHE_VERSION}.json", b"{}",
+                            checksum=False)
+        stale = store.put("result", "b--v0.json", b"{}", checksum=False)
+        tmp = store.namespace_dir("result") / "orphan.tmp"
+        tmp.write_bytes(b"partial")
+        unknown = store.namespace_dir("result") / "NOTES.bin"
+        unknown.write_bytes(b"not ours")
+
+        would = store.gc(namespaces=("result",), dry_run=True)
+        assert sorted(p.name for p in would) == ["b--v0.json", "orphan.tmp"]
+        assert stale.exists() and tmp.exists()  # dry run deleted nothing
+
+        removed = store.gc(namespaces=("result",))
+        assert sorted(p.name for p in removed) == ["b--v0.json", "orphan.tmp"]
+        assert current.exists()
+        assert unknown.exists()  # unclassified files are never touched
+        assert not stale.exists() and not tmp.exists()
+
+    def test_gc_remove_all_and_age(self, store):
+        current = store.put("result", f"a--v{CACHE_VERSION}.json", b"{}",
+                            checksum=False)
+        old = store.put("result", f"old--v{CACHE_VERSION}.json", b"{}",
+                        checksum=False)
+        os.utime(old, (time.time() - 10 * 86400,) * 2)
+
+        removed = store.gc(namespaces=("result",), max_age_days=5)
+        assert [p.name for p in removed] == [old.name]
+        assert current.exists()
+
+        assert store.gc(namespaces=("result",), remove_all=True)
+        assert not current.exists()
+
+    def test_gc_sweeps_quarantine_with_remove_all(self, store):
+        path = store.put("checkpoint", "c--v1.ckpt", b"payload")
+        path.write_bytes(b"REPROART1\n" + b"0" * 64 + b"\nbad")
+        with pytest.warns(ArtifactCorruptionWarning):
+            store.get("checkpoint", "c--v1.ckpt")
+        assert store.stats()["quarantined"] == 1
+        store.gc(remove_all=True)
+        assert store.stats()["quarantined"] == 0
+
+
+class TestAccounting:
+    def test_ledger_records_and_resets(self):
+        reset_pass_log()
+        try:
+            record_pass("reference", "micro.syn", 1000)
+            record_pass("checkpoint_build", "micro.syn", 1000)
+            record_pass("reference", "gzip.syn", 500)
+            events = pass_events()
+            assert [e.kind for e in events] == [
+                "reference", "checkpoint_build", "reference"]
+            assert events[0].to_dict() == {
+                "kind": "reference", "benchmark": "micro.syn",
+                "instructions": 1000}
+            totals = instructions_by_kind()
+            assert totals["reference"] == 1500
+            assert totals["checkpoint_build"] == 1000
+        finally:
+            reset_pass_log()
+        assert pass_events() == []

@@ -247,3 +247,116 @@ class TestCheckpointBatchBuild:
                      "--machines", "32-way"])
         assert code == 2
         assert "unknown machine" in capsys.readouterr().err
+
+
+class TestStoreCommands:
+    @pytest.fixture(autouse=True)
+    def isolated_artifact_store(self, tmp_path, monkeypatch):
+        for var in ("REPRO_RUN_CACHE_DIR", "REPRO_CHECKPOINT_DIR",
+                    "REPRO_REF_CACHE_DIR", "REPRO_CACHE_DIR"):
+            monkeypatch.delenv(var, raising=False)
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "artifacts"))
+
+    def _populate(self):
+        from repro.store import ArtifactStore
+        from repro.api.executor import CACHE_VERSION
+        from repro.checkpoint import CHECKPOINT_VERSION
+
+        store = ArtifactStore()
+        store.put("result", f"a--v{CACHE_VERSION}.json", b"{}",
+                  checksum=False)
+        store.put("result", "stale--v0.json", b"{}", checksum=False)
+        self.ckpt_name = f"c--v{CHECKPOINT_VERSION}.ckpt"
+        store.put("checkpoint", self.ckpt_name, b"payload")
+        return store
+
+    def test_store_stats_table(self, capsys):
+        self._populate()
+        assert main(["store", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Artifact store:" in out
+        for namespace in ("result", "checkpoint", "bbv", "reftrace"):
+            assert namespace in out
+
+    def test_store_stats_json(self, capsys):
+        self._populate()
+        assert main(["store", "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["namespaces"]["result"]["files"] == 2
+        assert payload["namespaces"]["result"]["entries"] == 1
+
+    def test_store_ls(self, capsys):
+        self._populate()
+        assert main(["store", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert self.ckpt_name in out
+        assert main(["store", "ls", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {e["namespace"] for e in payload["artifacts"]} \
+            == {"result", "checkpoint"}
+
+    def test_store_gc_dry_run_then_real(self, capsys):
+        store = self._populate()
+        stale = store.path("result", "stale--v0.json")
+        assert main(["store", "gc", "--dry-run"]) == 0
+        assert "would remove 1 file(s)" in capsys.readouterr().out
+        assert stale.exists()
+        assert main(["store", "gc"]) == 0
+        assert "removed 1 file(s)" in capsys.readouterr().out
+        assert not stale.exists()
+
+    def test_store_gc_namespace_filter(self, capsys):
+        self._populate()
+        assert main(["store", "gc", "--namespaces", "checkpoint",
+                     "--dry-run"]) == 0
+        assert "would remove 0 file(s)" in capsys.readouterr().out
+
+    def test_store_gc_unknown_namespace_rejected(self, capsys):
+        assert main(["store", "gc", "--namespaces", "nope"]) == 2
+        assert "unknown namespace" in capsys.readouterr().err
+
+    def test_checkpoint_gc_dry_run_delegates_to_store(self, capsys):
+        self._populate()
+        assert main(["checkpoint", "gc", "--all", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would remove" in out and self.ckpt_name in out
+        assert main(["store", "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["namespaces"]["checkpoint"]["files"] == 1
+
+
+class TestWorkerCommand:
+    def test_worker_exits_idle_and_reports(self, capsys, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_QUEUE_DIR", str(tmp_path / "queue"))
+        assert main(["worker", "--max-idle", "0.1", "--poll", "0.02"]) == 0
+        assert "worker exiting after 0 job(s)" in capsys.readouterr().out
+
+    def test_worker_flags_match_queue_backend_spawn(self):
+        # QueueBackend spawns `repro worker --queue-dir ... --poll ...
+        # --lease ... --max-idle ...`; the parser must accept that shape.
+        args = build_parser().parse_args(
+            ["worker", "--queue-dir", "/tmp/q", "--poll", "0.1",
+             "--lease", "30.0", "--max-idle", "20"])
+        assert args.queue_dir == "/tmp/q"
+        assert args.max_idle == 20.0
+        assert args.max_jobs is None
+
+
+class TestBackendFlags:
+    def test_sweep_accepts_backend(self):
+        args = build_parser().parse_args(["sweep", "--backend", "serial"])
+        assert args.backend == "serial"
+        assert build_parser().parse_args(["sweep"]).backend is None
+
+    def test_serve_accepts_backend(self):
+        args = build_parser().parse_args(["serve", "--backend", "queue"])
+        assert args.backend == "queue"
+
+    def test_sweep_with_explicit_serial_backend(self, capsys, monkeypatch,
+                                                tmp_path):
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "ckpt"))
+        code = main(["sweep", "--benchmarks", "gzip.syn", "--scale", "0.05",
+                     "--backend", "serial", "--epsilon", "0.5"])
+        assert code == 0
+        assert "gzip.syn" in capsys.readouterr().out
