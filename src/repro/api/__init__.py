@@ -49,6 +49,16 @@ from repro.backends import (
 from repro.config import MachineConfig, scaled_16way, scaled_8way
 from repro.core.procedure import recommended_warming
 from repro.core.stats import CONFIDENCE_95, CONFIDENCE_997, DEFAULT_EPSILON
+from repro.reliability import (
+    BatchExecutionError,
+    BatchReport,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    RetryPolicy,
+    SpecFailure,
+)
 from repro.store import (
     ArtifactCorruptionWarning,
     ArtifactStore,
@@ -177,6 +187,8 @@ __all__ = [
     "ArtifactCorruptionWarning",
     "ArtifactStore",
     "BACKENDS",
+    "BatchExecutionError",
+    "BatchReport",
     "CONFIDENCE_95",
     "CONFIDENCE_997",
     "CheckpointSet",
@@ -189,7 +201,11 @@ __all__ = [
     "Executor",
     "ExecutorBackend",
     "ExperimentContext",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "GroupedResults",
+    "InjectedFault",
     "LocalPoolBackend",
     "MachineConfig",
     "QueueBackend",
@@ -198,8 +214,10 @@ __all__ = [
     "StaleCheckpointWarning",
     "RandomStrategy",
     "ResultCache",
+    "RetryPolicy",
     "RunResult",
     "RunSpec",
+    "SpecFailure",
     "SUITE_NAMES",
     "STRATEGIES",
     "STUDIES",

@@ -224,6 +224,14 @@ class Executor:
     anything larger fans across the local process pool.  Results come
     back in spec order on every backend, and — because every spec is
     deterministic — with identical estimates on every backend.
+
+    :meth:`run_report` is the partial-failure entry point: it returns a
+    :class:`~repro.reliability.BatchReport` pairing completed results
+    with per-spec :class:`~repro.reliability.SpecFailure` envelopes.
+    :meth:`run` keeps the historical list-of-results signature by
+    raising :class:`~repro.reliability.BatchExecutionError` when any
+    spec failed — the exception carries the full report, so completed
+    work is never discarded.
     """
 
     def __init__(self, max_workers: int | None = None,
@@ -246,15 +254,24 @@ class Executor:
             return SerialBackend()
         return LocalPoolBackend()
 
-    def run(self, specs: list[RunSpec],
-            max_workers: int | None = None) -> list[RunResult]:
+    def run_report(self, specs: list[RunSpec],
+                   max_workers: int | None = None) -> "BatchReport":
+        """Run the batch; report every spec's outcome, never raise.
+
+        Cache hits become completed entries without touching a backend;
+        misses go through the resolved backend's envelope contract.
+        Only genuine :class:`~repro.api.spec.RunResult` outcomes are
+        written back to the cache.
+        """
+        from repro.reliability.report import BatchReport, SpecFailure
+
         if max_workers is None:
             max_workers = self.max_workers
-        results: list[RunResult | None] = []
+        entries: list[RunResult | SpecFailure | None] = []
         misses: list[int] = []
         for i, spec in enumerate(specs):
             cached = self.cache.get(spec)
-            results.append(cached)
+            entries.append(cached)
             if cached is None:
                 misses.append(i)
 
@@ -269,18 +286,36 @@ class Executor:
                 # their key as done — resolve_checkpoints declines some
                 # auto specs (e.g. functional_warming=False), and such a
                 # spec must not suppress the prebuild for an eligible
-                # twin.
+                # twin.  A failed prebuild must not kill the batch: the
+                # affected spec will rebuild (or fail) inside its own
+                # worker, where the per-spec envelope captures it.
                 seen: set[tuple] = set()
                 for i in misses:
                     spec = specs[i]
                     key = (spec.benchmark, spec.scale, spec.machine,
                            getattr(spec.strategy, "unit_size", None))
-                    if key not in seen and resolve_checkpoints(spec) is not None:
-                        seen.add(key)
+                    if key in seen:
+                        continue
+                    try:
+                        if resolve_checkpoints(spec) is not None:
+                            seen.add(key)
+                    except Exception:  # noqa: BLE001 — deferred to worker
+                        continue
             fresh = backend.run_specs([specs[i] for i in misses],
                                       max_workers=max_workers,
                                       use_cache=self.cache.enabled)
-            for i, result in zip(misses, fresh):
-                self.cache.put(result)
-                results[i] = result
-        return results  # type: ignore[return-value]
+            for i, outcome in zip(misses, fresh):
+                if isinstance(outcome, RunResult):
+                    self.cache.put(outcome)
+                entries[i] = outcome
+        return BatchReport(entries=entries)  # type: ignore[arg-type]
+
+    def run(self, specs: list[RunSpec],
+            max_workers: int | None = None) -> list[RunResult]:
+        """Run the batch and return results in spec order.
+
+        Raises :class:`~repro.reliability.BatchExecutionError` if any
+        spec failed; the exception's ``report`` attribute still carries
+        every completed sibling's result.
+        """
+        return self.run_report(specs, max_workers=max_workers).results

@@ -89,8 +89,26 @@ class Session:
         Parallel execution produces estimates identical to the serial
         path: every spec is deterministic and workers are forked from
         this process.
+
+        Raises :class:`~repro.reliability.BatchExecutionError` when any
+        spec fails after retries; the exception's ``report`` carries
+        every completed sibling's result.  Use :meth:`run_batch_report`
+        to handle partial failure without exceptions.
         """
         return self.executor.run(list(specs), max_workers=max_workers)
+
+    def run_batch_report(self, specs: Sequence[RunSpec],
+                         max_workers: int | None = None):
+        """Execute a batch under the partial-failure contract.
+
+        Returns a :class:`~repro.reliability.BatchReport`: one entry
+        per spec, each a :class:`~repro.api.spec.RunResult` or a
+        :class:`~repro.reliability.SpecFailure` envelope (error text,
+        type, attempt count, transient/permanent classification).
+        Never raises for spec failures.
+        """
+        return self.executor.run_report(list(specs),
+                                        max_workers=max_workers)
 
     def run_study(self, study: Study | str, ctx=None,
                   params: dict | None = None,

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, ClassVar
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.spec import RunResult, RunSpec
+    from repro.reliability.report import SpecFailure
 
 
 class ExecutorBackend(ABC):
@@ -42,8 +43,20 @@ class ExecutorBackend(ABC):
     @abstractmethod
     def run_specs(self, specs: "list[RunSpec]", *,
                   max_workers: int | None = None,
-                  use_cache: bool = True) -> "list[RunResult]":
-        """Execute ``specs`` and return their results, in order.
+                  use_cache: bool = True
+                  ) -> "list[RunResult | SpecFailure]":
+        """Execute ``specs``; one envelope per spec, in spec order.
+
+        The partial-failure contract: a spec that executes resolves to
+        its :class:`~repro.api.spec.RunResult`; a spec that exhausts its
+        retry budget (or fails permanently — a deterministic spec error)
+        resolves to a :class:`~repro.reliability.SpecFailure` carrying
+        the error text, type, attempt count, and transient/permanent
+        classification.  Backends never raise for a single spec's
+        failure and never drop a completed sibling's result; transient
+        errors are retried under the shared
+        :class:`~repro.reliability.RetryPolicy` before an envelope is
+        written.
 
         ``use_cache`` tells out-of-process workers whether results may
         be read from / written to the shared result cache (the caller's

@@ -11,15 +11,56 @@ interpreter state, which keeps benchmark construction bit-identical
 between serial and parallel execution).  Workers exchange plain dict
 payloads, so nothing fancier than JSON-shaped data crosses the process
 boundary.
+
+Both backends speak the per-spec partial-failure contract: every spec
+resolves to a :class:`~repro.api.spec.RunResult` or a
+:class:`~repro.reliability.SpecFailure` envelope, with transient errors
+retried under the shared :class:`~repro.reliability.RetryPolicy`.  The
+pool backend survives worker death (``BrokenProcessPool`` — a SIGKILLed
+or crashed fork worker): finished results are kept, the pool is
+respawned, and only unfinished specs are resubmitted, with the
+interrupted specs' attempt counters charged.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
+from repro.reliability.report import SpecFailure
+from repro.reliability.retry import RetryPolicy
 from repro.backends.base import ExecutorBackend, register_backend
+
+
+def _pool_task(payload: dict) -> dict:
+    """One pool-worker task: dict spec in, dict result out.
+
+    Module-level so it pickles under any start method; the ``pool.task``
+    fault seam fires in the *worker* process, which is how chaos plans
+    crash or kill real fork workers mid-batch.
+    """
+    from repro.api.executor import _execute_payload
+    from repro.reliability.faults import inject
+
+    inject("pool.task", payload.get("benchmark", ""))
+    return _execute_payload(payload)
+
+
+def _execute_with_retry(spec, policy: RetryPolicy):
+    """Run one spec in-process under the policy; result or failure."""
+    from repro.api.executor import execute_spec
+    from repro.reliability.retry import run_with_retry
+
+    try:
+        result, _ = run_with_retry(lambda: execute_spec(spec), spec.key(),
+                                   policy)
+        return result
+    except Exception as exc:  # noqa: BLE001 — envelope, not propagation
+        attempts = 1 if not policy.transient(exc) else policy.max_attempts
+        return SpecFailure.from_exception(spec, exc, attempts=attempts)
 
 
 @register_backend
@@ -31,39 +72,99 @@ class SerialBackend(ExecutorBackend):
     #: them; there are no concurrent workers to race.
     prebuild = False
 
-    def run_specs(self, specs, *, max_workers=None, use_cache=True):
-        from repro.api.executor import execute_spec
+    def __init__(self, retry: RetryPolicy | None = None):
+        self.retry = retry
 
-        return [execute_spec(spec) for spec in specs]
+    def run_specs(self, specs, *, max_workers=None, use_cache=True):
+        policy = self.retry if self.retry is not None \
+            else RetryPolicy.from_env()
+        return [_execute_with_retry(spec, policy) for spec in specs]
 
 
 @register_backend
 class LocalPoolBackend(ExecutorBackend):
-    """Fan specs across a single-host process pool (the default)."""
+    """Fan specs across a single-host process pool (the default).
+
+    Executes through ``submit()`` with per-future error capture rather
+    than ``pool.map``: one worker death no longer aborts the batch.  On
+    :class:`BrokenProcessPool` the pool is respawned and only the specs
+    without a captured outcome are resubmitted; a spec that keeps
+    breaking the pool exhausts its attempt budget and becomes a
+    :class:`~repro.reliability.SpecFailure` while every other spec's
+    result is kept.
+    """
 
     name = "local-pool"
     prebuild = True
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None,
+                 retry: RetryPolicy | None = None):
         self.max_workers = max_workers
+        self.retry = retry
 
     def run_specs(self, specs, *, max_workers=None, use_cache=True):
-        from repro.api.executor import _execute_payload, execute_spec
         from repro.api.spec import RunResult
 
+        policy = self.retry if self.retry is not None \
+            else RetryPolicy.from_env()
         workers = (max_workers if max_workers is not None
                    else self.max_workers)
         if workers is None:
             workers = os.cpu_count() or 2
         workers = min(workers, len(specs))
         if workers <= 1:
-            return [execute_spec(spec) for spec in specs]
+            return SerialBackend(retry=policy).run_specs(
+                specs, use_cache=use_cache)
         payloads = [spec.to_dict() for spec in specs]
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # platforms without fork
             context = multiprocessing.get_context()
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=context) as pool:
-            return [RunResult.from_dict(data)
-                    for data in pool.map(_execute_payload, payloads)]
+
+        outcomes: dict[int, object] = {}
+        #: attempts already consumed per unfinished spec index.
+        attempts = {i: 0 for i in range(len(specs))}
+        while attempts:
+            todo = sorted(attempts)
+            with ProcessPoolExecutor(max_workers=min(workers, len(todo)),
+                                     mp_context=context) as pool:
+                futures = {i: pool.submit(_pool_task, payloads[i])
+                           for i in todo}
+                backoff = 0.0
+                for i, future in futures.items():
+                    spec = specs[i]
+                    try:
+                        outcomes[i] = RunResult.from_dict(future.result())
+                        del attempts[i]
+                    except BrokenProcessPool:
+                        # A worker died; this future never finished.
+                        # Charge the attempt and leave the spec in the
+                        # resubmission set — unless its budget is gone.
+                        attempts[i] += 1
+                        if attempts[i] >= policy.max_attempts:
+                            outcomes[i] = SpecFailure(
+                                spec=spec,
+                                error=f"process pool broken "
+                                      f"{attempts[i]} time(s) while "
+                                      f"executing this spec (worker "
+                                      f"killed or crashed)",
+                                error_type="BrokenProcessPool",
+                                attempts=attempts[i], transient=True)
+                            del attempts[i]
+                        else:
+                            backoff = max(backoff,
+                                          policy.delay(spec.key(),
+                                                       attempts[i]))
+                    except Exception as exc:  # noqa: BLE001 — captured
+                        attempts[i] += 1
+                        if policy.should_retry(exc, attempts[i]):
+                            backoff = max(backoff,
+                                          policy.delay(spec.key(),
+                                                       attempts[i]))
+                        else:
+                            outcomes[i] = SpecFailure.from_exception(
+                                spec, exc, attempts=attempts[i])
+                            del attempts[i]
+            if attempts and backoff:
+                time.sleep(backoff)
+        return [outcomes[i] for i in range(len(specs))]

@@ -46,6 +46,7 @@ import time
 from pathlib import Path
 
 from repro.paths import project_cache_dir
+from repro.reliability.faults import inject
 from repro.backends.base import ExecutorBackend, register_backend
 
 #: Default heartbeat lease in seconds: a claim untouched for this long
@@ -154,6 +155,7 @@ class FileWorkQueue:
         exclusion: exactly one contender wins each file, losers see
         ``FileNotFoundError`` and try the next.
         """
+        inject("queue.claim")
         pending = self._dir("pending")
         if not pending.is_dir():
             return None
@@ -173,7 +175,13 @@ class FileWorkQueue:
         return None
 
     def heartbeat(self, name: str) -> None:
-        """Refresh the lease on a claimed job (touch its mtime)."""
+        """Refresh the lease on a claimed job (touch its mtime).
+
+        The ``queue.heartbeat`` fault seam lets chaos plans stall the
+        refresh (a wedged worker): the lease then goes stale and any
+        process may requeue the claim.
+        """
+        inject("queue.heartbeat", name)
         try:
             os.utime(self._path("claimed", name))
         except OSError:
@@ -184,9 +192,18 @@ class FileWorkQueue:
                     {"result": result, "worker": worker or {}})
         self._path("claimed", name).unlink(missing_ok=True)
 
-    def fail(self, name: str, error: str, worker: dict | None) -> None:
+    def fail(self, name: str, error: str, worker: dict | None,
+             attempts: int = 1, error_type: str = "Exception",
+             transient: bool = False) -> None:
         _write_json(self._path("failed", name),
-                    {"error": error, "worker": worker or {}})
+                    {"error": error, "worker": worker or {},
+                     "attempts": attempts, "error_type": error_type,
+                     "transient": transient})
+        self._path("claimed", name).unlink(missing_ok=True)
+
+    def requeue(self, name: str, payload: dict) -> None:
+        """Put a claimed job back in ``pending/`` (worker-side retry)."""
+        _write_json(self._path("pending", name), payload)
         self._path("claimed", name).unlink(missing_ok=True)
 
     # ------------------------------------------------------------------
@@ -200,6 +217,7 @@ class FileWorkQueue:
         ``max_attempts`` the job is failed instead of requeued, so a
         spec that crashes its worker cannot bounce forever.
         """
+        inject("queue.requeue")
         claimed = self._dir("claimed")
         if not claimed.is_dir():
             return []
@@ -221,7 +239,8 @@ class FileWorkQueue:
             if payload["attempts"] >= max_attempts:
                 self.fail(name, f"abandoned after {payload['attempts']} "
                                 f"attempts (worker lease expired)",
-                          worker=None)
+                          worker=None, attempts=payload["attempts"],
+                          error_type="LeaseExpired", transient=True)
                 continue
             _write_json(self._path("pending", name), payload)
             path.unlink(missing_ok=True)
@@ -233,6 +252,45 @@ class FileWorkQueue:
         return {state: len(list(self._dir(state).glob("*.json")))
                 if self._dir(state).is_dir() else 0
                 for state in JOB_STATES}
+
+    def gc(self, max_age_days: float | None = None,
+           remove_all: bool = False, dry_run: bool = False) -> list[Path]:
+        """Prune terminal job records; returns removed (or would-be) paths.
+
+        Without arguments only orphaned ``*.tmp`` litter goes; with
+        ``max_age_days``, ``done/`` and ``failed/`` envelopes older than
+        that are aged out too (the in-flight states are never touched by
+        age — lease recovery owns those), and ``remove_all`` clears
+        every record in every state.  ``dry_run`` reports without
+        deleting.
+        """
+        now = time.time()
+        removed: list[Path] = []
+
+        def _remove(path: Path) -> None:
+            if not dry_run:
+                path.unlink(missing_ok=True)
+            removed.append(path)
+
+        for state in JOB_STATES:
+            directory = self._dir(state)
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.tmp")):
+                _remove(path)
+            for path in sorted(directory.glob("*.json")):
+                if remove_all:
+                    _remove(path)
+                    continue
+                if state not in ("done", "failed") or max_age_days is None:
+                    continue
+                try:
+                    age = now - path.stat().st_mtime
+                except OSError:
+                    continue
+                if age > max_age_days * 86400:
+                    _remove(path)
+        return removed
 
 
 @register_backend
@@ -288,9 +346,11 @@ class QueueBackend(ExecutorBackend):
 
     def run_specs(self, specs, *, max_workers=None, use_cache=True):
         from repro.api.spec import RunResult
+        from repro.reliability.report import SpecFailure
 
         queue = FileWorkQueue(self.queue_dir)
         names = [queue.submit(spec, use_cache=use_cache) for spec in specs]
+        by_name = {name: spec for name, spec in zip(names, specs)}
         count = max_workers if max_workers is not None else self.workers
         if count is None:
             count = 2
@@ -298,8 +358,14 @@ class QueueBackend(ExecutorBackend):
                      if count > 0 else [])
         deadline = (time.monotonic() + self.timeout
                     if self.timeout is not None else None)
+
+        def _dead_failure(name: str, reason: str, error_type: str):
+            return SpecFailure(spec=by_name[name], error=reason,
+                               error_type=error_type, attempts=1,
+                               transient=True)
+
         try:
-            results: dict[str, RunResult] = {}
+            envelopes: dict[str, object] = {}
             outstanding = set(names)
             while outstanding:
                 for name in sorted(outstanding):
@@ -308,10 +374,16 @@ class QueueBackend(ExecutorBackend):
                         continue
                     state, payload = record
                     if state == "failed":
-                        raise RuntimeError(
-                            f"queue job {name} failed: "
-                            f"{payload.get('error', 'unknown error')}")
-                    results[name] = RunResult.from_dict(payload["result"])
+                        envelopes[name] = SpecFailure(
+                            spec=by_name[name],
+                            error=payload.get("error", "unknown error"),
+                            error_type=payload.get("error_type",
+                                                   "Exception"),
+                            attempts=int(payload.get("attempts", 1)),
+                            transient=bool(payload.get("transient", False)))
+                    else:
+                        envelopes[name] = RunResult.from_dict(
+                            payload["result"])
                     outstanding.discard(name)
                 if not outstanding:
                     break
@@ -322,17 +394,25 @@ class QueueBackend(ExecutorBackend):
                     if all(queue.result(n) is not None for n in outstanding):
                         continue
                     codes = [p.returncode for p in processes]
-                    raise RuntimeError(
-                        f"queue workers exited (codes {codes}) with "
-                        f"{len(outstanding)} job(s) outstanding under "
-                        f"{queue.directory}")
+                    for name in sorted(outstanding):
+                        if queue.result(name) is None:
+                            envelopes[name] = _dead_failure(
+                                name,
+                                f"queue workers exited (codes {codes}) "
+                                f"with job {name} outstanding under "
+                                f"{queue.directory}", "WorkersExited")
+                            outstanding.discard(name)
+                    continue
                 if deadline is not None and time.monotonic() > deadline:
-                    raise TimeoutError(
-                        f"queue batch timed out after {self.timeout}s with "
-                        f"{len(outstanding)} job(s) outstanding under "
-                        f"{queue.directory}")
+                    for name in sorted(outstanding):
+                        envelopes[name] = _dead_failure(
+                            name,
+                            f"queue batch timed out after {self.timeout}s "
+                            f"with job {name} outstanding under "
+                            f"{queue.directory}", "TimeoutError")
+                    break
                 time.sleep(self.poll)
-            return [results[name] for name in names]
+            return [envelopes[name] for name in names]
         finally:
             for process in processes:
                 if process.poll() is None:

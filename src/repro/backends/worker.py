@@ -51,9 +51,13 @@ def process_job(queue: FileWorkQueue, name: str, payload: dict) -> None:
     """Execute one claimed job and write its terminal record."""
     from repro.api.executor import ResultCache, execute_spec
     from repro.api.spec import RunSpec
+    from repro.reliability.faults import inject
     from repro.store import pass_events
 
     spec = RunSpec.from_dict(payload["spec"])
+    # Fault seam: chaos plans crash/kill/stall the worker here — mid-job,
+    # after the claim — which is what exercises lease-expiry requeues.
+    inject("worker.execute", spec.benchmark)
     use_cache = bool(payload.get("use_cache", True))
     cache = ResultCache(enabled=use_cache)
     mark = len(pass_events())
@@ -72,8 +76,17 @@ def process_job(queue: FileWorkQueue, name: str, payload: dict) -> None:
 def run_worker(queue_dir=None, *, poll: float = 0.2,
                lease: float = DEFAULT_LEASE,
                max_idle: float | None = None,
-               max_jobs: int | None = None) -> int:
+               max_jobs: int | None = None,
+               retry=None) -> int:
     """Drain jobs from the queue until idle; returns jobs processed.
+
+    In-worker exceptions go through the shared
+    :class:`~repro.reliability.RetryPolicy`: a *transient* error
+    (injected fault, I/O trouble) requeues the job with its attempt
+    counter bumped — the same budget lease-expiry recovery charges — so
+    a later claim retries it; a *permanent* error (bad spec) or an
+    exhausted budget writes a ``failed/`` envelope carrying the
+    traceback, the attempt count, and the classification.
 
     Args:
         queue_dir: Queue directory (default ``REPRO_QUEUE_DIR`` /
@@ -84,13 +97,18 @@ def run_worker(queue_dir=None, *, poll: float = 0.2,
         max_idle: Exit after this many consecutive idle seconds
             (None = run until killed, the long-lived-fleet shape).
         max_jobs: Exit after this many jobs (None = unlimited).
+        retry: :class:`~repro.reliability.RetryPolicy` override
+            (default: from the environment — ``REPRO_MAX_ATTEMPTS``).
     """
+    from repro.reliability.retry import RetryPolicy
+
+    policy = retry if retry is not None else RetryPolicy.from_env()
     queue = FileWorkQueue(queue_dir)
     queue.ensure_dirs()
     processed = 0
     idle_since = time.monotonic()
     while True:
-        queue.requeue_stale(lease)
+        queue.requeue_stale(lease, max_attempts=policy.max_attempts)
         claim = queue.claim_next()
         if claim is None:
             if (max_idle is not None
@@ -102,9 +120,18 @@ def run_worker(queue_dir=None, *, poll: float = 0.2,
         with _Heartbeat(queue, name, interval=lease / 4):
             try:
                 process_job(queue, name, payload)
-            except Exception:
-                queue.fail(name, traceback.format_exc(),
-                           worker={"pid": os.getpid()})
+            except Exception as exc:  # noqa: BLE001 — classified below
+                attempts = int(payload.get("attempts", 0)) + 1
+                if policy.should_retry(exc, attempts):
+                    payload["attempts"] = attempts
+                    queue.requeue(name, payload)
+                    time.sleep(policy.delay(name, attempts))
+                else:
+                    queue.fail(name, traceback.format_exc(),
+                               worker={"pid": os.getpid()},
+                               attempts=attempts,
+                               error_type=type(exc).__name__,
+                               transient=policy.transient(exc))
         processed += 1
         idle_since = time.monotonic()
         if max_jobs is not None and processed >= max_jobs:

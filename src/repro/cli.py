@@ -358,6 +358,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="remove done/failed records older than this")
     jobs_gc.add_argument("--all", action="store_true",
                          help="remove every job record")
+    jobs_gc.add_argument("--dry-run", action="store_true",
+                         help="report what would be removed without "
+                              "deleting")
 
     return parser
 
@@ -471,12 +474,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scale=args.scale, metric=args.metric, seed=args.seed,
         epsilon=args.epsilon,
         checkpoints="auto" if args.checkpoints else "off")
-    results = session.run_batch(specs, max_workers=args.workers)
+    batch = session.run_batch_report(specs, max_workers=args.workers)
+    results = batch.completed
 
     if args.json:
-        print(json.dumps([r.to_dict() for r in results],
+        if batch.ok:
+            # Fully-successful sweeps keep the historical schema: a
+            # plain list of result dicts.
+            print(json.dumps([r.to_dict() for r in results],
+                             indent=2, sort_keys=True))
+            return 0
+        print(json.dumps({"results": [r.to_dict() for r in results],
+                          "failures": [f.to_dict()
+                                       for f in batch.failures]},
                          indent=2, sort_keys=True))
-        return 0
+        return 1
 
     rows = []
     for result in results:
@@ -496,7 +508,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         rows,
         title=f"Sweep: {args.strategy} strategy over "
               f"{len(benchmarks)} benchmarks x {len(machines)} machines"))
+    if not batch.ok:
+        _print_failure_table(batch.failures)
+        return 1
     return 0
+
+
+def _print_failure_table(failures) -> None:
+    """Render per-spec failure envelopes to stderr as a table."""
+    rows = [[row["benchmark"], row["machine"], row["error_type"],
+             row["attempts"], "yes" if row["transient"] else "no",
+             row["error"][:60]]
+            for row in (f.row() for f in failures)]
+    print(format_table(
+        ["benchmark", "machine", "error", "attempts", "transient",
+         "detail"], rows,
+        title=f"Failed specs ({len(failures)})"), file=sys.stderr)
 
 
 def _cmd_reference(args: argparse.Namespace) -> int:
@@ -668,9 +695,16 @@ def _cmd_study(args: argparse.Namespace) -> int:
             title=f"Registered studies ({len(rows)})"))
         return 0
 
+    from repro.reliability import BatchExecutionError
+
     ctx, restore = _study_context(args.checkpoints)
     try:
         report = run_study(args.name, ctx, max_workers=args.workers)
+    except BatchExecutionError as exc:
+        print(f"study {args.name!r} could not complete: {exc}",
+              file=sys.stderr)
+        _print_failure_table(exc.report.failures)
+        return 1
     finally:
         restore()
 
@@ -768,6 +802,18 @@ def _cmd_store(args: argparse.Namespace) -> int:
     print(f"{verb} {len(removed)} file(s) from {store.root}")
     for path in removed:
         print(f"  {path.name}")
+    if namespaces is None:
+        # The work queue lives under the same artifact root; its
+        # terminal done/failed envelopes age out with the same flags.
+        from repro.backends.queue import FileWorkQueue
+
+        queue = FileWorkQueue()
+        queue_removed = queue.gc(max_age_days=args.max_age_days,
+                                 remove_all=args.all, dry_run=args.dry_run)
+        print(f"{verb} {len(queue_removed)} queue record(s) from "
+              f"{queue.directory}")
+        for path in queue_removed:
+            print(f"  {path.name}")
     return 0
 
 
@@ -816,8 +862,10 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             title=f"Job store: {store.directory} ({len(records)} records)"))
         return 0
     # gc
-    removed = store.gc(max_age_days=args.max_age_days, remove_all=args.all)
-    print(f"removed {len(removed)} file(s) from {store.directory}")
+    removed = store.gc(max_age_days=args.max_age_days, remove_all=args.all,
+                       dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"{verb} {len(removed)} file(s) from {store.directory}")
     for path in removed:
         print(f"  {path.name}")
     return 0

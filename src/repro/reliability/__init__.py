@@ -1,0 +1,77 @@
+"""repro.reliability — faults, retries, and partial-failure contracts.
+
+Thousand-spec sweeps only pay off if they survive the failures scale
+brings: crashed fork workers, stalled queue leases, torn artifact
+writes.  This package makes robustness a *tested invariant* rather than
+scattered best-effort code:
+
+* :mod:`repro.reliability.faults` — a deterministic, seeded
+  :class:`FaultInjector` with named injection points threaded through
+  the store, all three executor backends, and the job server; activated
+  only via ``REPRO_FAULT_PLAN`` or a test fixture (production paths pay
+  one dict lookup).
+* :mod:`repro.reliability.retry` — one :class:`RetryPolicy` (attempt
+  budget, exponential backoff with deterministic jitter, transient vs.
+  permanent error classification) applied per-spec by every backend;
+  ``REPRO_MAX_ATTEMPTS`` tunes it ambiently.
+* :mod:`repro.reliability.report` — the :class:`BatchReport`
+  partial-failure contract: every spec resolves to a result or a
+  :class:`SpecFailure` envelope, and even the raising path
+  (:class:`BatchExecutionError`) carries every completed result.
+
+The chaos-campaign tests (``tests/test_chaos_campaign.py``) assert the
+system-level invariants under injected faults: no corrupt artifact is
+ever served, no queue job is lost or double-completed, and every
+completed spec's ``estimates_dict()`` is bit-identical to a fault-free
+run.
+"""
+
+from repro.reliability.faults import (
+    KINDS,
+    PLAN_ENV,
+    SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_injector,
+    clear_plan,
+    corrupt_bytes,
+    inject,
+    install_plan,
+)
+from repro.reliability.report import (
+    BatchExecutionError,
+    BatchReport,
+    SpecFailure,
+)
+from repro.reliability.retry import (
+    DEFAULT_MAX_ATTEMPTS,
+    MAX_ATTEMPTS_ENV,
+    RetryPolicy,
+    classify_transient,
+    run_with_retry,
+)
+
+__all__ = [
+    "BatchExecutionError",
+    "BatchReport",
+    "DEFAULT_MAX_ATTEMPTS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "KINDS",
+    "MAX_ATTEMPTS_ENV",
+    "PLAN_ENV",
+    "RetryPolicy",
+    "SITES",
+    "SpecFailure",
+    "active_injector",
+    "classify_transient",
+    "clear_plan",
+    "corrupt_bytes",
+    "inject",
+    "install_plan",
+    "run_with_retry",
+]

@@ -1,0 +1,129 @@
+"""Retry policy: attempts, deterministic backoff, error classification.
+
+One :class:`RetryPolicy` is shared by all three executor backends, so
+"how many times is a flaky spec retried, and when do we give up" is a
+single contract instead of per-backend folklore.  Two pieces:
+
+* **Transient vs. permanent classification.**  Infrastructure trouble —
+  ``OSError`` (EIO, ENOSPC, stale NFS handles), timeouts, connection
+  drops, a broken process pool, an :class:`InjectedFault` — is
+  *transient*: the same deterministic spec can succeed on a healthy
+  retry.  Everything else (``ValueError`` from a bad strategy dict, a
+  ``KeyError`` on an unknown benchmark) is *permanent*: the computation
+  itself is deterministic, so re-running it reproduces the error and
+  retrying only burns cycles.
+* **Exponential backoff with deterministic jitter.**  Delays double per
+  attempt and carry a jitter factor drawn from a seeded hash of
+  (seed, key, attempt) — never from global RNG state — so runs are
+  reproducible while concurrent retries still decorrelate.
+
+``REPRO_MAX_ATTEMPTS`` overrides the attempt budget ambiently (it
+reaches spawned pool and queue workers through the environment).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.reliability.faults import InjectedFault
+
+#: Attempt budget when neither constructor nor environment says.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Environment variable overriding the attempt budget everywhere.
+MAX_ATTEMPTS_ENV = "REPRO_MAX_ATTEMPTS"
+
+
+def classify_transient(exc: BaseException) -> bool:
+    """True when retrying the failed operation could plausibly succeed."""
+    if isinstance(exc, InjectedFault):
+        return exc.transient
+    if isinstance(exc, (BrokenProcessPool, TimeoutError, ConnectionError)):
+        return True
+    if isinstance(exc, MemoryError):
+        return False
+    if isinstance(exc, OSError):
+        return True
+    return False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget + backoff schedule + classification.
+
+    Args:
+        max_attempts: Total tries per spec (first run included).
+        base_delay: Backoff before the second attempt, in seconds;
+            doubles per further attempt.
+        max_delay: Backoff ceiling.
+        seed: Seed for the deterministic jitter draw.
+    """
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+    @classmethod
+    def from_env(cls, **overrides) -> "RetryPolicy":
+        """A policy honoring ``REPRO_MAX_ATTEMPTS`` when set."""
+        if "max_attempts" not in overrides:
+            raw = os.environ.get(MAX_ATTEMPTS_ENV, "").strip()
+            if raw:
+                try:
+                    overrides["max_attempts"] = int(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"{MAX_ATTEMPTS_ENV} must be an integer, "
+                        f"got {raw!r}") from None
+        return cls(**overrides)
+
+    # ------------------------------------------------------------------
+    def transient(self, exc: BaseException) -> bool:
+        return classify_transient(exc)
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (1-based) gets a successor."""
+        return attempt < self.max_attempts and self.transient(exc)
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before attempt ``attempt + 1``; deterministic jitter.
+
+        ``base_delay * 2**(attempt-1)`` scaled by a jitter factor in
+        [1, 2) drawn from a seeded hash — the same (seed, key, attempt)
+        always backs off identically.
+        """
+        digest = hashlib.sha256(
+            f"{self.seed}|{key}|{attempt}".encode()).digest()
+        jitter = 1.0 + int.from_bytes(digest[:8], "big") / 2 ** 64
+        return min(self.base_delay * (2 ** (attempt - 1)) * jitter,
+                   self.max_delay)
+
+
+def run_with_retry(fn, key: str, policy: RetryPolicy,
+                   sleep=time.sleep) -> tuple:
+    """Call ``fn`` under the policy; returns ``(value, attempts)``.
+
+    Transient errors are retried (with backoff) while the budget lasts;
+    the final error — permanent, or budget exhausted — propagates to the
+    caller, which turns it into a failure envelope.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn(), attempt
+        except Exception as exc:  # noqa: BLE001 — classified below
+            if not policy.should_retry(exc, attempt):
+                raise
+            sleep(policy.delay(key, attempt))

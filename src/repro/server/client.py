@@ -93,12 +93,13 @@ class ReproClient:
     """Submit jobs, poll them, and fetch results from a repro server."""
 
     def __init__(self, base_url: str | None = None, app=None,
-                 poll_interval: float = 0.05):
+                 poll_interval: float = 0.05, poll_max: float = 2.0):
         if (base_url is None) == (app is None):
             raise ValueError("give exactly one of base_url or app")
         self._transport = (_HTTPTransport(base_url) if base_url is not None
                            else _WSGITransport(app))
         self.poll_interval = poll_interval
+        self.poll_max = poll_max
 
     # ------------------------------------------------------------------
     # Raw request plumbing
@@ -140,8 +141,14 @@ class ReproClient:
         return self.request("GET", path)["jobs"]
 
     def wait(self, job_id: str, timeout: float = 300.0) -> dict:
-        """Poll until the job finishes; raises on timeout or failure."""
+        """Poll until the job finishes; raises on timeout or failure.
+
+        The poll interval starts at ``poll_interval`` and doubles after
+        each poll up to ``poll_max``, so short jobs return promptly and
+        long jobs do not hammer the server.
+        """
         deadline = time.monotonic() + timeout
+        interval = self.poll_interval
         while True:
             record = self.job(job_id)
             if record["status"] == "done":
@@ -149,11 +156,13 @@ class ReproClient:
             if record["status"] == "failed":
                 raise ServerError(409, {"error": record["error"],
                                         "job": record})
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {record['status']} after "
                     f"{timeout:g}s")
-            time.sleep(self.poll_interval)
+            time.sleep(min(interval, deadline - now))
+            interval = min(interval * 2, self.poll_max)
 
     def run_result(self, job_id: str, view: str = "estimates") -> dict:
         return self.request("GET", f"/runs/{job_id}/result?view={view}")

@@ -85,6 +85,12 @@ class JobQueue:
         self._closed = False
         self.hits = 0
         self.misses = 0
+        #: Timed-out job threads we walked away from (still burning CPU
+        #: until their computation ends — Python threads cannot be
+        #: killed).  Tracked so /healthz can expose the leak instead of
+        #: hiding it; dead threads are pruned on read.
+        self._abandoned: list[threading.Thread] = []
+        self.abandoned_total = 0
         self._recover()
         self._workers = [
             threading.Thread(target=self._worker_loop, daemon=True,
@@ -186,6 +192,16 @@ class JobQueue:
                 counts[record.status] = counts.get(record.status, 0) + 1
         return counts
 
+    def abandoned_jobs(self) -> int:
+        """Timed-out job threads still alive right now (a gauge).
+
+        ``abandoned_total`` is the matching lifetime counter; the gauge
+        prunes threads whose computation has since finished.
+        """
+        with self._lock:
+            self._abandoned = [t for t in self._abandoned if t.is_alive()]
+            return len(self._abandoned)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -211,9 +227,17 @@ class JobQueue:
         try:
             result = self._call_with_timeout(lambda: self._execute(record))
         except Exception as exc:  # noqa: BLE001 — job errors become records
+            from repro.reliability.report import BatchExecutionError
+
             with self._lock:
                 record.status = "failed"
                 record.error = f"{type(exc).__name__}: {exc}"
+                if isinstance(exc, BatchExecutionError):
+                    # Partial failure: keep the per-spec envelopes on the
+                    # record (the completed siblings' results already
+                    # reached the shared cache).
+                    record.failures = [f.to_dict()
+                                       for f in exc.report.failures]
                 record.finished_at = time.time()
                 self.store.save(record)
             return
@@ -224,6 +248,9 @@ class JobQueue:
             self.store.save(record)
 
     def _execute(self, record: JobRecord) -> dict:
+        from repro.reliability.faults import inject
+
+        inject("server.job", record.id)
         if record.kind == "run":
             spec = RunSpec.from_dict(record.payload)
             cached = self.session.executor.cache.get(spec)
@@ -261,6 +288,11 @@ class JobQueue:
                                   name="repro-job-timeout")
         thread.start()
         if not done.wait(self.job_timeout):
+            with self._lock:
+                self._abandoned = [t for t in self._abandoned
+                                   if t.is_alive()]
+                self._abandoned.append(thread)
+                self.abandoned_total += 1
             raise JobTimeout(
                 f"job exceeded the {self.job_timeout:g}s timeout "
                 f"(abandoned; the worker moved on)")

@@ -97,6 +97,8 @@ def handle_health(app, request) -> Response:
         "queue_depth": app.config.queue_depth,
         "job_timeout": app.config.job_timeout,
         "jobs": app.queue.counts(),
+        "abandoned_jobs": app.queue.abandoned_jobs(),
+        "abandoned_total": app.queue.abandoned_total,
     })
 
 

@@ -60,6 +60,10 @@ class JobRecord:
     cached: bool = False
     restarts: int = 0
     result: dict | None = None
+    #: Per-spec failure envelopes (``SpecFailure.to_dict()`` forms) when
+    #: the job failed partially — completed siblings' results are in the
+    #: shared cache even though the job itself is ``failed``.
+    failures: list | None = None
 
     def describe(self) -> dict:
         """The job as ``GET /jobs/<id>`` reports it (no result body)."""
@@ -75,6 +79,7 @@ class JobRecord:
             "cached": self.cached,
             "restarts": self.restarts,
             "has_result": self.result is not None,
+            "failures": self.failures,
         }
 
     def to_dict(self) -> dict:
@@ -140,13 +145,14 @@ class JobStore:
                 return False
 
     def gc(self, max_age_days: float | None = None,
-           remove_all: bool = False) -> list[Path]:
+           remove_all: bool = False, dry_run: bool = False) -> list[Path]:
         """Remove finished job records (and stray tmp files).
 
         Without arguments only orphaned ``*.tmp`` files go; with
         ``max_age_days`` finished (done/failed) records older than that
         are removed too, and ``remove_all`` clears every record
-        regardless of age or status (offline maintenance).
+        regardless of age or status (offline maintenance).  ``dry_run``
+        returns what *would* be removed without touching anything.
         """
         removed = []
         if not self.directory.is_dir():
@@ -172,9 +178,10 @@ class JobStore:
             age_days = (now - record.submitted_at) / 86400.0
             if record.status in ("done", "failed") and age_days > max_age_days:
                 removed.append(path)
-        for path in removed:
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        if not dry_run:
+            for path in removed:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         return removed

@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.paths import project_cache_dir
+from repro.reliability.faults import corrupt_bytes, inject
 
 #: The typed namespaces of the store (subdirectories of the root).
 NAMESPACES = ("result", "checkpoint", "bbv", "reftrace")
@@ -174,9 +175,14 @@ class ArtifactStore:
         """
         if not self.enabled:
             return path
+        inject("store.write", path.name)
         if checksum:
             digest = hashlib.sha256(data).hexdigest().encode()
             data = _MAGIC + digest + b"\n" + data
+        # Fault seam: a plan may corrupt the bytes as they land (torn
+        # write, bit rot) — the checksum frame / JSON parse must catch
+        # it on read, never serve it.
+        data = corrupt_bytes("store.write", path.name, data)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(
             f".{os.getpid()}-{threading.get_ident()}.tmp")
@@ -207,10 +213,18 @@ class ArtifactStore:
         if not self.enabled:
             return None
         try:
-            data = path.read_bytes()
+            inject("store.read", path.name)
+            raw = path.read_bytes()
         except OSError:
             return None
+        data = corrupt_bytes("store.read", path.name, raw)
         if not data.startswith(_MAGIC):
+            if data is not raw and raw.startswith(_MAGIC):
+                # Injected read-rot hit the frame header itself: the
+                # blob is framed on disk, so treat it as corrupt rather
+                # than returning mangled bytes as a headerless artifact.
+                self._quarantine(path)
+                return None
             return data
         header_end = len(_MAGIC) + _DIGEST_LEN
         digest = data[len(_MAGIC):header_end]

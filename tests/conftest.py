@@ -14,6 +14,18 @@ from repro.harness.reference import run_reference
 from repro.workloads import micro_benchmark
 
 
+@pytest.fixture(autouse=True)
+def no_fault_plan(monkeypatch):
+    """No test inherits a fault plan from another (or from the shell)."""
+    from repro.reliability.faults import clear_plan
+
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+    monkeypatch.delenv("REPRO_MAX_ATTEMPTS", raising=False)
+    clear_plan()
+    yield
+    clear_plan()
+
+
 @pytest.fixture(scope="session")
 def machine_8way():
     """Scaled 8-way baseline machine configuration."""

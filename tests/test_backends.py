@@ -32,6 +32,7 @@ from repro.backends import (
     backend_from_env,
     run_worker,
 )
+from repro.reliability import SpecFailure
 
 
 @pytest.fixture(autouse=True)
@@ -244,15 +245,19 @@ class TestBackendBitIdentity:
         thread = threading.Thread(target=saboteur)
         thread.start()
         try:
-            with pytest.raises(RuntimeError, match="kaboom"):
-                backend.run_specs([spec], use_cache=False)
+            envelope = backend.run_specs([spec], use_cache=False)[0]
         finally:
             thread.join()
+        assert isinstance(envelope, SpecFailure)
+        assert "kaboom" in envelope.error
+        assert envelope.spec == spec
 
     def test_queue_backend_times_out_without_workers(self):
         backend = QueueBackend(workers=0, poll=0.01, timeout=0.3)
-        with pytest.raises(TimeoutError):
-            backend.run_specs([_micro_spec()], use_cache=False)
+        envelope = backend.run_specs([_micro_spec()], use_cache=False)[0]
+        assert isinstance(envelope, SpecFailure)
+        assert envelope.error_type == "TimeoutError"
+        assert envelope.transient is True
 
 
 class TestSessionBackendSelection:

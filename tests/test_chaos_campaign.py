@@ -1,0 +1,180 @@
+"""Seeded chaos campaigns across all three executor backends.
+
+Each campaign installs a deterministic :class:`FaultPlan` mixing fault
+kinds (I/O errors, byte corruption, delays, process crashes / SIGKILL)
+at the seams a backend actually crosses, runs a small spec batch, and
+asserts the system-level invariants the reliability layer promises:
+
+* **Bit-identity.**  Every spec that completes produces an
+  ``estimates_dict()`` byte-for-byte equal to a fault-free run — faults
+  may cost retries, never correctness.
+* **No corrupt artifact served.**  Corrupted store entries surface as
+  misses/quarantines and get rebuilt; they never flow into results.
+* **No lost or doubled queue jobs.**  After a queue campaign every job
+  has exactly one terminal record, and nothing is left pending/claimed.
+"""
+
+import pytest
+
+from repro.api import RunSpec, Session, SystematicStrategy
+from repro.reliability import FaultPlan, FaultRule, RetryPolicy, SpecFailure
+
+#: Specs per campaign: distinct seeds → distinct content hashes/jobs.
+N_SPECS = 3
+
+
+@pytest.fixture(autouse=True)
+def isolated_store(tmp_path, monkeypatch):
+    for var in ("REPRO_RUN_CACHE_DIR", "REPRO_CHECKPOINT_DIR",
+                "REPRO_REF_CACHE_DIR", "REPRO_CACHE_DIR", "REPRO_BACKEND"):
+        monkeypatch.delenv(var, raising=False)
+    monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "artifacts"))
+    monkeypatch.setenv("REPRO_QUEUE_DIR", str(tmp_path / "queue"))
+
+
+def _specs() -> list[RunSpec]:
+    return [
+        RunSpec(benchmark="micro.syn",
+                strategy=SystematicStrategy(unit_size=25, n_init=30,
+                                            max_rounds=1,
+                                            detailed_warming=50),
+                epsilon=0.5, seed=seed)
+        for seed in range(N_SPECS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """Fault-free estimates for the campaign specs (no cache, serial)."""
+    return [result.estimates_dict()
+            for result in Session(use_cache=False).run_batch(_specs())]
+
+
+def _assert_bit_identical(outcomes, golden):
+    failures = [o.row() for o in outcomes if isinstance(o, SpecFailure)]
+    assert not failures, failures
+    assert [o.estimates_dict() for o in outcomes] == golden
+
+
+class TestSerialCampaign:
+    def test_io_faults_and_corruption(self, golden, monkeypatch, tmp_path):
+        """Serial backend: EIO on reads, write corruption, stalls."""
+        plan = FaultPlan(rules=[
+            FaultRule(site="store.read", kind="oserror", errno_name="EIO",
+                      probability=0.5, times=4),
+            FaultRule(site="store.write", kind="corrupt", probability=0.5,
+                      times=3),
+            FaultRule(site="store.write", kind="delay", delay=0.01,
+                      times=2),
+        ], seed=42)
+        monkeypatch.setenv("REPRO_FAULT_PLAN", plan.to_json())
+        session = Session(backend="serial")  # cache on: corruption lands
+        report = session.run_batch_report(_specs())
+        _assert_bit_identical(list(report), golden)
+        # Nothing corrupt was served: a re-read session reproduces the
+        # same estimates with the plan gone (corrupt entries were
+        # misses, valid ones verify).
+        monkeypatch.delenv("REPRO_FAULT_PLAN")
+        rerun = Session(backend="serial").run_batch(_specs())
+        assert [r.estimates_dict() for r in rerun] == golden
+
+    def test_transient_execution_faults_are_retried(self, golden,
+                                                    monkeypatch, tmp_path):
+        import repro.api.executor as executor_module
+
+        real = executor_module.execute_spec
+        calls = {"n": 0}
+
+        def flaky(spec):
+            calls["n"] += 1
+            if calls["n"] % 2 == 1:  # every other call EIOs first
+                raise OSError(5, "injected flaky I/O")
+            return real(spec)
+
+        monkeypatch.setattr(executor_module, "execute_spec", flaky)
+        from repro.backends.local import SerialBackend
+
+        backend = SerialBackend(retry=RetryPolicy(max_attempts=3,
+                                                  base_delay=0))
+        outcomes = backend.run_specs(_specs())
+        _assert_bit_identical(outcomes, golden)
+
+
+class TestLocalPoolCampaign:
+    def test_crash_corrupt_and_stall(self, golden, monkeypatch, tmp_path):
+        """Pool backend: one worker crash + write corruption + stalls."""
+        from repro.backends.local import LocalPoolBackend
+
+        plan = FaultPlan(rules=[
+            FaultRule(site="pool.task", kind="crash", scope="shared",
+                      times=1),
+            FaultRule(site="store.write", kind="corrupt", probability=0.5,
+                      times=3),
+            FaultRule(site="store.read", kind="delay", delay=0.01,
+                      times=2),
+        ], seed=7, state_dir=str(tmp_path / "fuses"))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", plan.to_json())
+        backend = LocalPoolBackend(
+            max_workers=2, retry=RetryPolicy(max_attempts=3, base_delay=0))
+        outcomes = backend.run_specs(_specs())
+        _assert_bit_identical(outcomes, golden)
+
+    def test_sigkill_mid_batch(self, golden, monkeypatch, tmp_path):
+        from repro.backends.local import LocalPoolBackend
+
+        plan = FaultPlan(rules=[
+            FaultRule(site="pool.task", kind="kill", scope="shared",
+                      times=1),
+        ], seed=1, state_dir=str(tmp_path / "fuses"))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", plan.to_json())
+        backend = LocalPoolBackend(
+            max_workers=2, retry=RetryPolicy(max_attempts=3, base_delay=0))
+        _assert_bit_identical(backend.run_specs(_specs()), golden)
+
+
+class TestQueueCampaign:
+    def test_worker_crash_corruption_and_stalls(self, golden, monkeypatch,
+                                                tmp_path):
+        """Queue backend with real worker subprocesses under chaos.
+
+        One worker crashes mid-job (crash exactly once, shared fuse),
+        result-cache writes corrupt with probability 0.5, and
+        heartbeats stall briefly.  The batch must still complete
+        bit-identically, and the queue must end with exactly one
+        terminal record per job.
+        """
+        from repro.backends import FileWorkQueue
+        from repro.backends.queue import QueueBackend
+
+        plan = FaultPlan(rules=[
+            FaultRule(site="worker.execute", kind="crash", scope="shared",
+                      times=1),
+            FaultRule(site="store.write", kind="corrupt", probability=0.5,
+                      times=3),
+            FaultRule(site="queue.heartbeat", kind="delay", delay=0.02,
+                      times=2),
+            FaultRule(site="worker.execute", kind="raise", scope="shared",
+                      times=1),
+        ], seed=13, state_dir=str(tmp_path / "fuses"))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", plan.to_json())
+
+        specs = _specs()
+        backend = QueueBackend(workers=2, poll=0.05, lease=1.5,
+                               timeout=300.0)
+        outcomes = backend.run_specs(specs, use_cache=True)
+        _assert_bit_identical(outcomes, golden)
+
+        # Queue invariant: every job has exactly one terminal record —
+        # none lost, none double-completed, nothing stuck in flight.
+        queue = FileWorkQueue()
+        names = {FileWorkQueue.job_name(spec) for spec in specs}
+        assert len(names) == len(specs)
+        for name in names:
+            done = queue._path("done", name).exists()
+            failed = queue._path("failed", name).exists()
+            assert done and not failed, (name, done, failed)
+            assert not queue._path("pending", name).exists()
+            assert not queue._path("claimed", name).exists()
+        counts = queue.counts()
+        assert counts["pending"] == 0 and counts["claimed"] == 0
+        assert counts["done"] == len(names)
